@@ -1,0 +1,266 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (at a configurable scale — see Experiments.Scale and
+   DESIGN.md §3/§4).
+
+   Usage:  dune exec bench/main.exe [-- section ...]
+   Sections: table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 figfamilies
+             successrate ranking hvplight theorem ablation online micro
+             (default: all).
+   Scale: VMALLOC_SCALE=small|medium|paper (default small). *)
+
+let progress msg = Printf.eprintf "[bench] %s\n%!" msg
+
+let section_header name =
+  Printf.printf "\n%s\n%s\n" name (String.make (String.length name) '=')
+
+(* Table 1 / Table 2 share their (expensive) runs. *)
+let table_runs = ref None
+
+let get_table_runs scale =
+  match !table_runs with
+  | Some r -> r
+  | None ->
+      let r = Experiments.Table1.run ~progress scale in
+      table_runs := Some r;
+      r
+
+let run_table1 scale =
+  section_header "Table 1: pairwise comparison of major heuristics";
+  print_string (Experiments.Table1.report_table1 (get_table_runs scale));
+  print_endline
+    "Paper's shape: METAHVP >= METAVP > METAGREEDY > RRNZ in both yield\n\
+     and success rate; RRND has high yield on its rare successes but the\n\
+     worst success rate."
+
+let run_table2 scale =
+  section_header "Table 2: algorithm run times";
+  print_string (Experiments.Table1.report_table2 (get_table_runs scale));
+  print_endline
+    "Paper's shape: RRNZ orders of magnitude slower (solves an LP);\n\
+     METAGREEDY << METAVP < METAHVP (roughly 3x METAVP)."
+
+let run_fig_cov scale variant name =
+  section_header name;
+  let result = Experiments.Fig_cov.run ~progress scale variant in
+  print_string (Experiments.Fig_cov.report result);
+  print_endline
+    "Paper's shape: differences are <= 0 almost everywhere (METAHVP best);\n\
+     the METAVP gap widens as the coefficient of variation grows."
+
+let run_fig_error scale services name =
+  section_header name;
+  let result = Experiments.Fig_error.run ~progress scale ~services in
+  print_string (Experiments.Fig_error.report result);
+  print_endline
+    "Paper's shape: ideal on top; weight/equal with threshold 0 decay\n\
+     fastest with error; higher thresholds flatten the curves toward the\n\
+     zero-knowledge floor."
+
+let run_success_rate () =
+  section_header "Success rate vs memory slack";
+  print_string
+    (Experiments.Success_rate.report
+       (Experiments.Success_rate.run ~progress ()))
+
+let run_ranking () =
+  section_header "§5.1 methodology: ranking the 253 HVP strategies";
+  print_string
+    (Experiments.Strategy_ranking.report
+       (Experiments.Strategy_ranking.run ~progress ()))
+
+let run_hvplight scale =
+  section_header "§5.1: METAHVPLIGHT";
+  print_string
+    (Experiments.Light.report (Experiments.Light.run ~progress scale))
+
+let run_theorem () =
+  section_header "Theorem 1";
+  print_string
+    (Experiments.Theorem_check.report (Experiments.Theorem_check.run ()))
+
+let run_fig_families scale =
+  section_header "Appendix figure families (Figs. 8-34 and 35-66, sampled)";
+  print_string
+    (Experiments.Families.report_cov_family
+       (Experiments.Families.cov_family ~progress scale));
+  print_newline ();
+  print_string
+    (Experiments.Families.report_error_family
+       (Experiments.Families.error_family ~progress scale))
+
+(* Online-hosting extension: fixed vs adaptive mitigation thresholds in the
+   deployment loop the paper's conclusion sketches. *)
+let run_online () =
+  section_header "Online hosting (extension; paper §8)";
+  let platform =
+    Array.init 10 (fun id ->
+        if id < 6 then Model.Node.make_cores ~id ~cores:4 ~cpu:0.4 ~mem:0.4
+        else Model.Node.make_cores ~id ~cores:4 ~cpu:0.8 ~mem:0.8)
+  in
+  let base =
+    {
+      Simulator.Engine.default_config with
+      horizon = 150.;
+      arrival_rate = 0.8;
+      mean_lifetime = 30.;
+      reallocation_period = 10.;
+      max_error = 0.08;
+      memory_scale = 0.5;
+    }
+  in
+  let table =
+    Stats.Table.create
+      ~headers:
+        [ "mitigation"; "mean min yield"; "migrations"; "final threshold" ]
+  in
+  let row name config =
+    let stats =
+      Simulator.Engine.run ~rng:(Prng.Rng.create ~seed:17) config ~platform
+    in
+    Stats.Table.add_row table
+      [
+        name;
+        Printf.sprintf "%.4f" stats.mean_min_yield;
+        string_of_int stats.migrations;
+        Printf.sprintf "%.3f" stats.final_threshold;
+      ]
+  in
+  row "none (t=0)" { base with threshold = Simulator.Engine.Fixed 0. };
+  row "fixed t=0.10" { base with threshold = Simulator.Engine.Fixed 0.1 };
+  row "fixed t=0.30" { base with threshold = Simulator.Engine.Fixed 0.3 };
+  row "adaptive (q90)"
+    {
+      base with
+      threshold =
+        Simulator.Engine.Adaptive
+          (Sharing.Adaptive_threshold.create ~quantile:90. ());
+    };
+  Stats.Table.print table;
+  print_endline
+    "Expected shape: no mitigation suffers under error; the adaptive\n\
+     controller approaches the best fixed threshold without tuning."
+
+let run_ablation () =
+  section_header "Ablations";
+  print_string
+    (Experiments.Ablation.report_window (Experiments.Ablation.window_sweep ()));
+  print_newline ();
+  print_string
+    (Experiments.Ablation.report_pp_implementation
+       (Experiments.Ablation.pp_implementation ()));
+  print_newline ();
+  print_string
+    (Experiments.Ablation.report_tolerance
+       (Experiments.Ablation.tolerance_sweep ()));
+  print_newline ();
+  print_string
+    (Experiments.Ablation.report_dimension
+       (Experiments.Ablation.dimension_sweep ()))
+
+(* Bechamel micro-benchmarks: per-algorithm cost on one fixed mid-size
+   instance (complements Table 2's wall-clock averages). *)
+let run_micro () =
+  section_header "Micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let inst =
+    Experiments.Corpus.instance
+      {
+        Experiments.Corpus.hosts = 10;
+        services = 40;
+        cov = 0.5;
+        slack = 0.4;
+        cpu_homogeneous = false;
+        mem_homogeneous = false;
+        rep = 0;
+      }
+  in
+  let solver name (algo : Heuristics.Algorithms.t) =
+    Test.make ~name (Staged.stage (fun () -> ignore (algo.solve inst)))
+  in
+  let tests =
+    Test.make_grouped ~name:"solvers" ~fmt:"%s/%s"
+      [
+        solver "metagreedy" Heuristics.Algorithms.metagreedy;
+        solver "metavp" Heuristics.Algorithms.metavp;
+        solver "metahvplight" Heuristics.Algorithms.metahvplight;
+        solver "rrnz" (Heuristics.Algorithms.rrnz ~seed:1);
+      ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              Printf.printf "%-24s %12.0f ns/run (%s)\n" name est measure
+          | _ -> Printf.printf "%-24s (no estimate)\n" name)
+        tbl)
+    merged
+
+let all_sections =
+  [
+    "table1"; "table2"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
+    "figfamilies"; "successrate"; "ranking"; "hvplight"; "theorem";
+    "ablation"; "online";
+    "micro";
+  ]
+
+let () =
+  let scale = Experiments.Scale.from_env () in
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> all_sections
+  in
+  Printf.printf "vmalloc benchmark harness — scale preset: %s\n"
+    scale.Experiments.Scale.label;
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun section ->
+      match section with
+      | "table1" -> run_table1 scale
+      | "table2" -> run_table2 scale
+      | "fig2" ->
+          run_fig_cov scale Experiments.Fig_cov.Fully_heterogeneous
+            "Fig. 2 family: yield difference vs CoV (fully heterogeneous)"
+      | "fig3" ->
+          run_fig_cov scale Experiments.Fig_cov.Cpu_homogeneous
+            "Fig. 3: yield difference vs CoV (CPU homogeneous)"
+      | "fig4" ->
+          run_fig_cov scale Experiments.Fig_cov.Mem_homogeneous
+            "Fig. 4: yield difference vs CoV (memory homogeneous)"
+      | "fig5" ->
+          run_fig_error scale
+            (List.nth scale.Experiments.Scale.error_services 0)
+            "Fig. 5 family: error experiments (small service count)"
+      | "fig6" ->
+          run_fig_error scale
+            (List.nth scale.Experiments.Scale.error_services 1)
+            "Fig. 6 family: error experiments (medium service count)"
+      | "fig7" ->
+          run_fig_error scale
+            (List.nth scale.Experiments.Scale.error_services 2)
+            "Fig. 7 family: error experiments (large service count)"
+      | "figfamilies" -> run_fig_families scale
+      | "online" -> run_online ()
+      | "successrate" -> run_success_rate ()
+      | "ranking" -> run_ranking ()
+      | "hvplight" -> run_hvplight scale
+      | "theorem" -> run_theorem ()
+      | "ablation" -> run_ablation ()
+      | "micro" -> run_micro ()
+      | other -> Printf.eprintf "unknown section %S (skipped)\n" other)
+    requested;
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

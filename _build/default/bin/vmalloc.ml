@@ -1,0 +1,334 @@
+(* vmalloc — command-line front end.
+
+   Subcommands:
+     generate   write a random problem instance to a file
+     solve      run one algorithm on an instance (file or generated)
+     compare    run the major algorithms on an instance and tabulate
+     inspect    parse an instance file and print a summary
+     simulate   run the online-hosting simulation (extension)
+     theorem    print the Theorem 1 table
+
+   Examples:
+     vmalloc generate -o inst.txt --hosts 16 --services 64 --cov 0.7
+     vmalloc solve inst.txt --algo metahvplight
+     vmalloc compare inst.txt
+     vmalloc solve --hosts 8 --services 24 --algo metavp   (generate ad hoc) *)
+
+open Cmdliner
+
+(* Shared generation options. *)
+
+type gen_opts = {
+  hosts : int;
+  services : int;
+  cov : float;
+  slack : float;
+  cpu_homogeneous : bool;
+  mem_homogeneous : bool;
+  seed : int;
+}
+
+let gen_opts_term =
+  let hosts =
+    Arg.(value & opt int 16 & info [ "hosts" ] ~docv:"H"
+           ~doc:"Number of nodes.")
+  in
+  let services =
+    Arg.(value & opt int 48 & info [ "services" ] ~docv:"J"
+           ~doc:"Number of services.")
+  in
+  let cov =
+    Arg.(value & opt float 0.5 & info [ "cov" ] ~docv:"C"
+           ~doc:"Coefficient of variation of node capacities (0 = \
+                 homogeneous).")
+  in
+  let slack =
+    Arg.(value & opt float 0.4 & info [ "slack" ] ~docv:"S"
+           ~doc:"Memory slack in (0,1); lower is harder.")
+  in
+  let cpu_h =
+    Arg.(value & flag & info [ "cpu-homogeneous" ]
+           ~doc:"Hold CPU capacities at 0.5.")
+  in
+  let mem_h =
+    Arg.(value & flag & info [ "mem-homogeneous" ]
+           ~doc:"Hold memory capacities at 0.5.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"Random seed.")
+  in
+  let make hosts services cov slack cpu_homogeneous mem_homogeneous seed =
+    { hosts; services; cov; slack; cpu_homogeneous; mem_homogeneous; seed }
+  in
+  Term.(const make $ hosts $ services $ cov $ slack $ cpu_h $ mem_h $ seed)
+
+let generate_instance (o : gen_opts) =
+  Workload.Generator.generate
+    ~rng:(Prng.Rng.create ~seed:o.seed)
+    {
+      Workload.Generator.hosts = o.hosts;
+      services = o.services;
+      cov = o.cov;
+      slack = o.slack;
+      cpu_homogeneous = o.cpu_homogeneous;
+      mem_homogeneous = o.mem_homogeneous;
+    }
+
+let load_or_generate file opts =
+  match file with
+  | Some path -> (
+      match Model.Codec.read_file path with
+      | Ok inst -> Ok inst
+      | Error e -> Error (Printf.sprintf "cannot read %s: %s" path e))
+  | None -> (
+      try Ok (generate_instance opts)
+      with Invalid_argument e -> Error e)
+
+let instance_file_term =
+  Arg.(value & pos 0 (some file) None
+       & info [] ~docv:"INSTANCE"
+           ~doc:"Instance file (omit to generate one from the options).")
+
+(* generate *)
+
+let generate_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output file (default: stdout).")
+  in
+  let run opts output =
+    match (try Ok (generate_instance opts) with Invalid_argument e -> Error e)
+    with
+    | Error e -> `Error (false, e)
+    | Ok inst -> (
+        match output with
+        | Some path ->
+            Model.Codec.write_file path inst;
+            Printf.printf "wrote %s (%d nodes, %d services)\n" path
+              (Model.Instance.n_nodes inst)
+              (Model.Instance.n_services inst);
+            `Ok ()
+        | None ->
+            print_string (Model.Codec.to_string inst);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a random problem instance (paper §4).")
+    Term.(ret (const run $ gen_opts_term $ output))
+
+(* solve *)
+
+let algo_term =
+  Arg.(value & opt string "metahvplight"
+       & info [ "algo" ] ~docv:"NAME"
+           ~doc:"Algorithm: rrnd, rrnz, metagreedy, metavp, metahvp, \
+                 metahvplight, or milp (exact, small instances only).")
+
+let solve_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ]
+           ~doc:"Print per-service yields and the placement.")
+  in
+  let run file opts algo_name verbose =
+    match load_or_generate file opts with
+    | Error e -> `Error (false, e)
+    | Ok inst -> (
+        match Heuristics.Algorithms.by_name ~seed:opts.seed algo_name with
+        | None -> `Error (false, "unknown algorithm: " ^ algo_name)
+        | Some algo -> (
+            let t0 = Sys.time () in
+            match algo.solve inst with
+            | None ->
+                Printf.printf "%s: no feasible placement (%.3fs)\n" algo.name
+                  (Sys.time () -. t0);
+                `Ok ()
+            | Some sol ->
+                Printf.printf "%s: minimum yield %.4f (%.3fs)\n" algo.name
+                  sol.min_yield (Sys.time () -. t0);
+                if verbose then begin
+                  match Model.Placement.water_fill inst sol.placement with
+                  | None -> ()
+                  | Some alloc ->
+                      print_string (Model.Report.render inst alloc)
+                end;
+                `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Place services with one algorithm.")
+    Term.(ret (const run $ instance_file_term $ gen_opts_term $ algo_term
+               $ verbose))
+
+(* compare *)
+
+let compare_cmd =
+  let run file opts =
+    match load_or_generate file opts with
+    | Error e -> `Error (false, e)
+    | Ok inst ->
+        let table =
+          Stats.Table.create ~headers:[ "algorithm"; "min yield"; "time (s)" ]
+        in
+        let all =
+          Heuristics.Algorithms.majors ~seed:opts.seed
+          @ [ Heuristics.Algorithms.metahvplight ]
+        in
+        List.iter
+          (fun (algo : Heuristics.Algorithms.t) ->
+            let t0 = Sys.time () in
+            let cell =
+              match algo.solve inst with
+              | Some sol -> Printf.sprintf "%.4f" sol.min_yield
+              | None -> "fail"
+            in
+            Stats.Table.add_row table
+              [ algo.name; cell; Printf.sprintf "%.3f" (Sys.time () -. t0) ])
+          all;
+        Stats.Table.print table;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run the paper's major algorithms on one instance.")
+    Term.(ret (const run $ instance_file_term $ gen_opts_term))
+
+(* inspect *)
+
+let inspect_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"INSTANCE" ~doc:"Instance file.")
+  in
+  let run file =
+    match Model.Codec.read_file file with
+    | Error e -> `Error (false, e)
+    | Ok inst ->
+        let open Vec in
+        let total = Model.Instance.total_capacity inst in
+        let reqs = Model.Instance.total_requirement inst in
+        let needs = Model.Instance.total_need inst in
+        Format.printf "%a@." Model.Analysis.pp (Model.Analysis.analyze inst);
+        Printf.printf "total capacity:    %s\n" (Vector.to_string total);
+        Printf.printf "total requirement: %s\n" (Vector.to_string reqs);
+        Printf.printf "total need:        %s\n" (Vector.to_string needs);
+        (match Heuristics.Milp.relaxed_bound inst with
+        | Some b -> Printf.printf "LP yield bound:    %.4f\n" b
+        | None -> print_endline "LP yield bound:    infeasible");
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Summarize an instance file.")
+    Term.(ret (const run $ file))
+
+(* simulate *)
+
+let simulate_cmd =
+  let horizon =
+    Arg.(value & opt float 150. & info [ "horizon" ] ~docv:"T"
+           ~doc:"Simulated time units.")
+  in
+  let arrival_rate =
+    Arg.(value & opt float 0.8 & info [ "arrival-rate" ] ~docv:"R"
+           ~doc:"Poisson arrival intensity.")
+  in
+  let mean_lifetime =
+    Arg.(value & opt float 30. & info [ "lifetime" ] ~docv:"L"
+           ~doc:"Mean (exponential) service lifetime.")
+  in
+  let period =
+    Arg.(value & opt float 10. & info [ "period" ] ~docv:"P"
+           ~doc:"Reallocation period.")
+  in
+  let max_error =
+    Arg.(value & opt float 0.0 & info [ "error" ] ~docv:"E"
+           ~doc:"Max CPU-need estimation error.")
+  in
+  let threshold =
+    Arg.(value & opt string "0" & info [ "threshold" ] ~docv:"T"
+           ~doc:"Mitigation threshold: a number, or 'adaptive'.")
+  in
+  let hosts =
+    Arg.(value & opt int 10 & info [ "hosts" ] ~docv:"H"
+           ~doc:"Number of nodes (two generations).")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  let run horizon arrival_rate mean_lifetime period max_error threshold hosts
+      seed =
+    let threshold_mode =
+      if String.lowercase_ascii threshold = "adaptive" then
+        Ok (Simulator.Engine.Adaptive
+              (Sharing.Adaptive_threshold.create ~quantile:90. ()))
+      else
+        match float_of_string_opt threshold with
+        | Some t when t >= 0. -> Ok (Simulator.Engine.Fixed t)
+        | _ -> Error ("bad threshold: " ^ threshold)
+    in
+    match threshold_mode with
+    | Error e -> `Error (false, e)
+    | Ok threshold -> (
+        let platform =
+          Array.init hosts (fun id ->
+              if id < hosts / 2 then
+                Model.Node.make_cores ~id ~cores:4 ~cpu:0.4 ~mem:0.4
+              else Model.Node.make_cores ~id ~cores:4 ~cpu:0.8 ~mem:0.8)
+        in
+        let config =
+          {
+            Simulator.Engine.default_config with
+            horizon;
+            arrival_rate;
+            mean_lifetime;
+            reallocation_period = period;
+            max_error;
+            threshold;
+            memory_scale = 0.5;
+          }
+        in
+        match
+          Simulator.Engine.run ~rng:(Prng.Rng.create ~seed) config ~platform
+        with
+        | stats ->
+            Printf.printf
+              "horizon %.0f: %d arrivals (%d rejected), %d departures\n\
+               %d reallocations (%d failed), %d migrations\n\
+               time-averaged minimum yield: %.4f\n\
+               final threshold: %.3f\n"
+              horizon stats.arrivals stats.rejected stats.departures
+              stats.reallocations stats.failed_reallocations stats.migrations
+              stats.mean_min_yield stats.final_threshold;
+            `Ok ()
+        | exception Invalid_argument e -> `Error (false, e))
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the online-hosting simulation (arrivals/departures with \
+             periodic reallocation).")
+    Term.(ret (const run $ horizon $ arrival_rate $ mean_lifetime $ period
+               $ max_error $ threshold $ hosts $ seed))
+
+(* theorem *)
+
+let theorem_cmd =
+  let run () =
+    print_string
+      (Experiments.Theorem_check.report (Experiments.Theorem_check.run ()));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "theorem"
+       ~doc:"Check the EQUALWEIGHTS competitive-ratio theorem empirically.")
+    Term.(ret (const run $ const ()))
+
+let () =
+  let doc =
+    "virtual machine resource allocation on heterogeneous platforms \
+     (Casanova, Stillwell, Vivien; IPDPS 2012)"
+  in
+  let info = Cmd.info "vmalloc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; solve_cmd; compare_cmd; inspect_cmd; simulate_cmd;
+            theorem_cmd ]))

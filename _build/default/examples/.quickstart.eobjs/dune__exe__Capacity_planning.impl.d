@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Heuristics List Printf Prng Stats Workload

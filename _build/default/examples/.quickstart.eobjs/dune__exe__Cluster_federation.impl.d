@@ -1,0 +1,1 @@
+examples/cluster_federation.ml: Array Heuristics List Model Printf Stats

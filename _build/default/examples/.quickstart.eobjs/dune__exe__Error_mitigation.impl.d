@@ -1,0 +1,1 @@
+examples/error_mitigation.ml: Heuristics List Printf Prng Sharing Stats Workload

@@ -1,0 +1,1 @@
+examples/online_hosting.ml: Array Model Printf Prng Sharing Simulator

@@ -1,0 +1,90 @@
+(* Cluster federation: the heterogeneity scenario from the paper's
+   introduction. Three formerly independent clusters — an old 4-core
+   generation, a mid-range refresh, and a new high-memory generation — are
+   federated into one service-hosting platform. A mixed workload of web
+   services and batch workers must be consolidated so that the worst-served
+   service runs as fast as possible.
+
+   Run with:  dune exec examples/cluster_federation.exe *)
+
+let make_cluster ~first_id ~count ~cpu ~mem =
+  List.init count (fun i ->
+      Model.Node.make_cores ~id:(first_id + i) ~cores:4 ~cpu ~mem)
+
+let () =
+  (* Three machine classes (production-cycle heterogeneity, paper §1). *)
+  let nodes =
+    make_cluster ~first_id:0 ~count:6 ~cpu:0.35 ~mem:0.30   (* 2009 racks *)
+    @ make_cluster ~first_id:6 ~count:4 ~cpu:0.55 ~mem:0.50 (* 2011 refresh *)
+    @ make_cluster ~first_id:10 ~count:2 ~cpu:0.90 ~mem:1.0 (* new big-mem *)
+    |> Array.of_list
+  in
+
+  (* Workload: latency-sensitive web frontends (single-core, modest
+     memory), multi-threaded application servers, and memory-hungry
+     caches. *)
+  let services =
+    let specs =
+      List.concat
+        [
+          List.init 14 (fun _ -> (`Web, 1));
+          List.init 6 (fun _ -> (`App, 3));
+          List.init 4 (fun _ -> (`Cache, 1));
+        ]
+    in
+    List.mapi
+      (fun id (kind, cores) ->
+        let per_core = 0.11 in
+        let cpu_need = (per_core, per_core *. float_of_int cores) in
+        match kind with
+        | `Web -> Model.Service.make_2d ~id ~mem_req:0.05 ~cpu_need ()
+        | `App -> Model.Service.make_2d ~id ~mem_req:0.12 ~cpu_need ()
+        | `Cache -> Model.Service.make_2d ~id ~mem_req:0.45 ~cpu_need ())
+      specs
+    |> Array.of_list
+  in
+  let instance = Model.Instance.v ~nodes ~services in
+  Printf.printf
+    "federated platform: %d nodes in 3 classes, %d services\n\n"
+    (Array.length nodes) (Array.length services);
+
+  (* Compare the paper's algorithm families. *)
+  let algorithms =
+    [
+      Heuristics.Algorithms.metagreedy;
+      Heuristics.Algorithms.metavp;
+      Heuristics.Algorithms.metahvp;
+      Heuristics.Algorithms.metahvplight;
+      Heuristics.Algorithms.rrnz ~seed:42;
+    ]
+  in
+  let table =
+    Stats.Table.create ~headers:[ "algorithm"; "min yield"; "placement" ]
+  in
+  List.iter
+    (fun (algo : Heuristics.Algorithms.t) ->
+      match algo.solve instance with
+      | None -> Stats.Table.add_row table [ algo.name; "FAIL"; "-" ]
+      | Some sol ->
+          (* Count services per machine class. *)
+          let per_class = Array.make 3 0 in
+          Array.iter
+            (fun h ->
+              let c = if h < 6 then 0 else if h < 10 then 1 else 2 in
+              per_class.(c) <- per_class.(c) + 1)
+            sol.placement;
+          Stats.Table.add_row table
+            [
+              algo.name;
+              Printf.sprintf "%.4f" sol.min_yield;
+              Printf.sprintf "old:%d mid:%d new:%d" per_class.(0)
+                per_class.(1) per_class.(2);
+            ])
+    algorithms;
+  Stats.Table.print table;
+
+  (* The rational LP relaxation bounds how much any algorithm could
+     possibly achieve on this instance. *)
+  match Heuristics.Milp.relaxed_bound instance with
+  | Some bound -> Printf.printf "\nLP upper bound on the minimum yield: %.4f\n" bound
+  | None -> print_endline "\nLP relaxation infeasible"

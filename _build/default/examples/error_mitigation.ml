@@ -1,0 +1,97 @@
+(* Error mitigation: planning with noisy CPU-need estimates (paper §6).
+
+   A hosting platform only has rough estimates of how much CPU its services
+   will consume. This example plans placements from perturbed estimates,
+   executes them against the true needs under the three allocation
+   policies, and shows how rounding small estimates up to a minimum
+   threshold trades average performance for robustness.
+
+   Run with:  dune exec examples/error_mitigation.exe *)
+
+let () =
+  let true_instance =
+    Workload.Generator.generate
+      ~rng:(Prng.Rng.create ~seed:2024)
+      {
+        Workload.Generator.hosts = 12;
+        services = 36;
+        cov = 0.5;
+        slack = 0.4;
+        cpu_homogeneous = false;
+        mem_homogeneous = false;
+      }
+  in
+  let metahvp = Heuristics.Algorithms.metahvp in
+
+  (* Perfect knowledge reference. *)
+  let ideal =
+    match metahvp.solve true_instance with
+    | Some sol -> sol.min_yield
+    | None -> failwith "instance should be solvable"
+  in
+  (* Zero-knowledge floor: spread evenly, share equally. *)
+  let zero_knowledge =
+    match Sharing.Zero_knowledge.place true_instance with
+    | None -> 0.
+    | Some placement -> (
+        match
+          Sharing.Runtime_eval.actual_min_yield Sharing.Policy.Equal_weights
+            ~true_instance ~estimated:true_instance placement
+        with
+        | Some y -> y
+        | None -> 0.)
+  in
+  Printf.printf "ideal (perfect estimates): %.4f\n" ideal;
+  Printf.printf "zero-knowledge baseline:   %.4f\n\n" zero_knowledge;
+
+  let table =
+    Stats.Table.create
+      ~headers:
+        [ "max error"; "threshold"; "ALLOCCAPS"; "ALLOCWEIGHTS";
+          "EQUALWEIGHTS" ]
+  in
+  List.iter
+    (fun max_error ->
+      let estimated_base =
+        Workload.Errors.perturb
+          ~rng:(Prng.Rng.create ~seed:7)
+          ~max_error true_instance
+      in
+      List.iter
+        (fun threshold ->
+          let estimated =
+            Workload.Errors.apply_threshold ~threshold estimated_base
+          in
+          match metahvp.solve estimated with
+          | None ->
+              Stats.Table.add_row table
+                [
+                  Printf.sprintf "%.2f" max_error;
+                  Printf.sprintf "%.2f" threshold;
+                  "plan failed"; "plan failed"; "plan failed";
+                ]
+          | Some sol ->
+              let yield policy =
+                match
+                  Sharing.Runtime_eval.actual_min_yield policy
+                    ~true_instance ~estimated sol.placement
+                with
+                | Some y -> Printf.sprintf "%.4f" y
+                | None -> "n/a"
+              in
+              Stats.Table.add_row table
+                [
+                  Printf.sprintf "%.2f" max_error;
+                  Printf.sprintf "%.2f" threshold;
+                  yield Sharing.Policy.Alloc_caps;
+                  yield Sharing.Policy.Alloc_weights;
+                  yield Sharing.Policy.Equal_weights;
+                ])
+        [ 0.0; 0.1; 0.3 ])
+    [ 0.0; 0.1; 0.2; 0.4 ];
+  Stats.Table.print table;
+  print_endline
+    "\nReading the table: with growing error, hard caps (ALLOCCAPS) starve\n\
+     underestimated services; work-conserving weights recover much of the\n\
+     loss; a minimum threshold flattens the decay toward the zero-knowledge\n\
+     floor at the cost of some performance when estimates are good."

@@ -1,0 +1,110 @@
+(** Single entry point for the vmalloc library.
+
+    The paper's primary contribution — max–min-yield service placement on
+    heterogeneous platforms via heterogeneous vector packing — lives in the
+    sub-libraries re-exported here. Downstream users can depend on [core]
+    alone and reach everything as [Core.X]; the sub-libraries remain
+    independently usable for finer-grained dependencies.
+
+    Layered bottom-up:
+
+    - {!Vector}, {!Epair}, {!Metric} — resource-vector algebra (lib/vec).
+    - {!Rng} — deterministic PRNG (lib/prng).
+    - {!Lp_problem}, {!Simplex}, {!Branch_bound} — the LP/MILP substrate
+      replacing GLPK/CPLEX (lib/lp).
+    - {!Node}, {!Service}, {!Instance}, {!Yield}, {!Placement}, {!Codec} —
+      the problem model and its exact per-node yield semantics (lib/model).
+    - {!Item}, {!Bin}, {!Fit}, {!Permutation_pack},
+      {!Naive_permutation_pack}, {!Strategy} — the vector-packing engine
+      (lib/packing).
+    - {!Binary_search}, {!Vp_solver}, {!Greedy}, {!Milp}, {!Rounding},
+      {!Algorithms} — the placement heuristics (lib/heuristics).
+    - {!Google_trace}, {!Generator}, {!Errors} — workload synthesis
+      (lib/workload).
+    - {!Work_conserving}, {!Policy}, {!Theorem}, {!Zero_knowledge},
+      {!Runtime_eval}, {!Adaptive_threshold} — the run-time sharing
+      simulator (lib/sharing).
+    - {!Event_queue}, {!Engine} — the online-hosting extension
+      (lib/simulator).
+    - {!Summary}, {!Pairwise}, {!Table}, {!Series} — statistics
+      (lib/stats). *)
+
+(* Resource vectors. *)
+module Vector = Vec.Vector
+module Epair = Vec.Epair
+module Metric = Vec.Metric
+
+(* PRNG. *)
+module Rng = Prng.Rng
+
+(* LP / MILP substrate. *)
+module Lp_problem = Lp.Problem
+module Simplex = Lp.Simplex
+module Branch_bound = Lp.Branch_bound
+
+(* Problem model. *)
+module Node = Model.Node
+module Service = Model.Service
+module Instance = Model.Instance
+module Yield = Model.Yield
+module Placement = Model.Placement
+module Codec = Model.Codec
+module Analysis = Model.Analysis
+module Report = Model.Report
+
+(* Vector packing. *)
+module Item = Packing.Item
+module Bin = Packing.Bin
+module Fit = Packing.Fit
+module Permutation_pack = Packing.Permutation_pack
+module Naive_permutation_pack = Packing.Naive_permutation_pack
+module Strategy = Packing.Strategy
+
+(* Placement heuristics. *)
+module Binary_search = Heuristics.Binary_search
+module Vp_solver = Heuristics.Vp_solver
+module Greedy = Heuristics.Greedy
+module Milp = Heuristics.Milp
+module Rounding = Heuristics.Rounding
+module Algorithms = Heuristics.Algorithms
+
+(* Workload synthesis. *)
+module Google_trace = Workload.Google_trace
+module Generator = Workload.Generator
+module Errors = Workload.Errors
+
+(* Run-time resource sharing. *)
+module Work_conserving = Sharing.Work_conserving
+module Policy = Sharing.Policy
+module Theorem = Sharing.Theorem
+module Zero_knowledge = Sharing.Zero_knowledge
+module Runtime_eval = Sharing.Runtime_eval
+module Adaptive_threshold = Sharing.Adaptive_threshold
+
+(* Online hosting (extension). *)
+module Event_queue = Simulator.Event_queue
+module Engine = Simulator.Engine
+
+(* Statistics. *)
+module Summary = Stats.Summary
+module Pairwise = Stats.Pairwise
+module Table = Stats.Table
+module Series = Stats.Series
+
+(** Convenience one-call API: generate-or-load, solve, evaluate. *)
+module Quick = struct
+  (** [solve ?algorithm instance] runs METAHVPLIGHT (or the named
+      algorithm) and returns the placement with its water-filled yields,
+      validated against the MILP constraints. *)
+  let solve ?(algorithm = Heuristics.Algorithms.metahvplight) instance =
+    match algorithm.Heuristics.Algorithms.solve instance with
+    | None -> None
+    | Some sol -> Model.Placement.water_fill instance sol.placement
+
+  (** [min_yield ?algorithm instance] is just the objective value. *)
+  let min_yield ?algorithm instance =
+    Option.map
+      (fun (alloc : Model.Placement.allocation) ->
+        Array.fold_left Float.min 1. alloc.yields)
+      (solve ?algorithm instance)
+end

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Corpus Heuristics List Packing Printf Prng Stats String Unix Vec Workload

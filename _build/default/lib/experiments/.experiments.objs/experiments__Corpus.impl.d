@@ -1,0 +1,1 @@
+lib/experiments/corpus.ml: Hashtbl List Prng Workload

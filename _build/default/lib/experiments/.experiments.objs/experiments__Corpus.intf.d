@@ -1,0 +1,1 @@
+lib/experiments/corpus.mli: Model Prng

@@ -1,0 +1,1 @@
+lib/experiments/families.ml: Array Buffer Corpus Heuristics List Option Printf Scale Sharing Stats Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig_cov.ml: Buffer Corpus Float Heuristics List Option Printf Scale Stats

@@ -1,0 +1,1 @@
+lib/experiments/fig_error.ml: Buffer Corpus Float Hashtbl Heuristics List Option Printf Prng Scale Sharing Stats Workload

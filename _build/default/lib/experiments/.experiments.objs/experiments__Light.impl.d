@@ -1,0 +1,1 @@
+lib/experiments/light.ml: Corpus Heuristics List Printf Scale Unix

@@ -1,0 +1,1 @@
+lib/experiments/light.mli: Scale

@@ -1,0 +1,1 @@
+lib/experiments/strategy_ranking.ml: Buffer Corpus Float Heuristics List Packing Printf Stats

@@ -1,0 +1,1 @@
+lib/experiments/strategy_ranking.mli: Packing

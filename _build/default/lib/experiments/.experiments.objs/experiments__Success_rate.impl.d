@@ -1,0 +1,1 @@
+lib/experiments/success_rate.ml: Buffer Corpus Heuristics List Printf Stats

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Buffer Corpus Heuristics List Option Printf Scale Stats Unix

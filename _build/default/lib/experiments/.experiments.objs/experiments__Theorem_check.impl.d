@@ -1,0 +1,1 @@
+lib/experiments/theorem_check.ml: Array List Printf Prng Sharing Stats

@@ -1,0 +1,59 @@
+type spec = {
+  hosts : int;
+  services : int;
+  cov : float;
+  slack : float;
+  cpu_homogeneous : bool;
+  mem_homogeneous : bool;
+  rep : int;
+}
+
+(* Stable parameter hash: Hashtbl.hash over the flattened tuple is stable
+   for a given OCaml version, which is enough for within-run reproducibility
+   and cross-run stability on the pinned toolchain. *)
+let seed_of_spec spec =
+  Hashtbl.hash
+    ( spec.hosts,
+      spec.services,
+      int_of_float (spec.cov *. 1000.),
+      int_of_float (spec.slack *. 1000.),
+      spec.cpu_homogeneous,
+      spec.mem_homogeneous,
+      spec.rep )
+
+let rng_of_spec spec = Prng.Rng.create ~seed:(seed_of_spec spec)
+
+let instance spec =
+  let config =
+    {
+      Workload.Generator.hosts = spec.hosts;
+      services = spec.services;
+      cov = spec.cov;
+      slack = spec.slack;
+      cpu_homogeneous = spec.cpu_homogeneous;
+      mem_homogeneous = spec.mem_homogeneous;
+    }
+  in
+  Workload.Generator.generate ~rng:(rng_of_spec spec) config
+
+let sweep ~hosts ~services ~covs ~slacks ~reps ?(cpu_homogeneous = false)
+    ?(mem_homogeneous = false) () =
+  List.concat_map
+    (fun cov ->
+      List.concat_map
+        (fun slack ->
+          List.init reps (fun rep ->
+              let spec =
+                {
+                  hosts;
+                  services;
+                  cov;
+                  slack;
+                  cpu_homogeneous;
+                  mem_homogeneous;
+                  rep;
+                }
+              in
+              (spec, instance spec)))
+        slacks)
+    covs

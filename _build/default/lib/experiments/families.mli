@@ -1,0 +1,52 @@
+(** Compact sweeps over the appendix figure families.
+
+    Figures 8–34 repeat Fig. 2 at every memory slack in 0.1–0.9 (for each
+    service count); Figures 35–66 repeat Figs. 5–7 over slacks 0.2–0.8 and
+    CoV 0/0.5/1. Running every panel at full resolution is a long unattended
+    job, so these drivers sample the family axes and print one summary table
+    per family: enough to check that the paper's shape holds across the
+    whole grid, not just the headline panels. *)
+
+type cov_family_cell = {
+  slack : float;
+  cov : float;
+  algorithm : string;
+  mean_diff : float;  (** mean yield difference vs METAHVP *)
+  solved : int;
+}
+
+val cov_family :
+  ?progress:(string -> unit) ->
+  ?slacks:float list ->
+  ?covs:float list ->
+  ?reps:int ->
+  Scale.t ->
+  cov_family_cell list
+(** The Fig. 8–34 axis sample. Defaults: slacks [0.1; 0.3; 0.5; 0.7; 0.9],
+    covs [0.; 0.5; 1.], 2 reps, contenders METAGREEDY and METAVP. *)
+
+val report_cov_family : cov_family_cell list -> string
+
+type error_family_cell = {
+  slack : float;
+  cov : float;
+  max_error : float;
+  ideal : float option;
+  weight_t0 : float option;  (** ALLOCWEIGHTS, threshold 0 *)
+  weight_t1 : float option;  (** ALLOCWEIGHTS, threshold 0.1 *)
+  zero_knowledge : float option;
+}
+
+val error_family :
+  ?progress:(string -> unit) ->
+  ?slacks:float list ->
+  ?covs:float list ->
+  ?max_errors:float list ->
+  ?reps:int ->
+  Scale.t ->
+  error_family_cell list
+(** The Fig. 35–66 axis sample. Defaults: slacks [0.2; 0.6; 0.8], covs
+    [0.; 0.5; 1.], errors [0.; 0.2; 0.4], 2 reps, services =
+    the scale's middle error scenario. *)
+
+val report_error_family : error_family_cell list -> string

@@ -1,0 +1,131 @@
+type variant = Fully_heterogeneous | Cpu_homogeneous | Mem_homogeneous
+
+let variant_name = function
+  | Fully_heterogeneous -> "fully heterogeneous"
+  | Cpu_homogeneous -> "CPU held homogeneous"
+  | Mem_homogeneous -> "memory held homogeneous"
+
+type series = {
+  algorithm : string;
+  samples : (float * float) list;
+}
+
+type result = {
+  variant : variant;
+  hosts : int;
+  services : int;
+  slack : float;
+  series : series list;
+  metahvp_failures : int;
+  n_instances : int;
+}
+
+let run ?(progress = fun _ -> ()) ?slack (scale : Scale.t) variant =
+  let slack = Option.value slack ~default:scale.fig_cov_slack in
+  let cpu_homogeneous = variant = Cpu_homogeneous in
+  let mem_homogeneous = variant = Mem_homogeneous in
+  let contenders =
+    (if scale.fig_cov_include_rrnz then [ Heuristics.Algorithms.rrnz ~seed:1 ]
+     else [])
+    @ [ Heuristics.Algorithms.metagreedy; Heuristics.Algorithms.metavp ]
+  in
+  let instances =
+    Corpus.sweep ~hosts:scale.fig_cov_hosts ~services:scale.fig_cov_services
+      ~covs:scale.fig_cov_covs ~slacks:[ slack ] ~reps:scale.fig_cov_reps
+      ~cpu_homogeneous ~mem_homogeneous ()
+  in
+  let n = List.length instances in
+  progress
+    (Printf.sprintf "fig-cov (%s): %d instances" (variant_name variant) n);
+  let samples =
+    List.map (fun (a : Heuristics.Algorithms.t) -> (a, ref [])) contenders
+  in
+  let failures = ref 0 in
+  List.iteri
+    (fun i ((spec : Corpus.spec), inst) ->
+      (match Heuristics.Algorithms.metahvp.solve inst with
+      | None -> incr failures
+      | Some reference ->
+          List.iter
+            (fun ((algo : Heuristics.Algorithms.t), acc) ->
+              match algo.solve inst with
+              | None -> ()
+              | Some sol ->
+                  acc :=
+                    (spec.cov, sol.min_yield -. reference.min_yield) :: !acc)
+            samples);
+      if (i + 1) mod 10 = 0 then
+        progress (Printf.sprintf "fig-cov: %d/%d done" (i + 1) n))
+    instances;
+  {
+    variant;
+    hosts = scale.fig_cov_hosts;
+    services = scale.fig_cov_services;
+    slack;
+    series =
+      List.map
+        (fun ((algo : Heuristics.Algorithms.t), acc) ->
+          { algorithm = algo.name; samples = List.rev !acc })
+        samples;
+    metahvp_failures = !failures;
+    n_instances = n;
+  }
+
+let report result =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "== Fig. 2-family: yield difference vs METAHVP, %s ==\n\
+        %d hosts, %d services, slack %.1f, %d instances \
+        (METAHVP failed on %d)\n\
+        Negative values mean METAHVP achieves the higher minimum yield.\n\n"
+       (variant_name result.variant) result.hosts result.services
+       result.slack result.n_instances result.metahvp_failures);
+  (* Per-CoV averages, one column per contender. *)
+  let aggregated =
+    List.map
+      (fun s -> (s.algorithm, Stats.Series.aggregate s.samples))
+      result.series
+  in
+  let covs =
+    List.sort_uniq Float.compare
+      (List.concat_map
+         (fun (_, pts) -> List.map (fun p -> p.Stats.Series.x) pts)
+         aggregated)
+  in
+  let table =
+    Stats.Table.create
+      ~headers:("cov" :: List.map fst aggregated)
+  in
+  List.iter
+    (fun cov ->
+      let row =
+        List.map
+          (fun (_, pts) ->
+            match
+              List.find_opt (fun p -> p.Stats.Series.x = cov) pts
+            with
+            | Some p -> Printf.sprintf "%+.4f" p.Stats.Series.mean
+            | None -> "n/a")
+          aggregated
+      in
+      Stats.Table.add_row table (Printf.sprintf "%.3f" cov :: row))
+    covs;
+  Buffer.add_string buf (Stats.Table.render table);
+  Buffer.add_string buf "\n\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Stats.Series.render
+           ~label:(Printf.sprintf "%s - METAHVP vs cov" s.algorithm)
+           s.samples);
+      Buffer.add_string buf "\n\n")
+    result.series;
+  Buffer.add_string buf "CSV (per-cov averages):\n";
+  List.iter
+    (fun (name, pts) ->
+      Buffer.add_string buf
+        (Stats.Series.to_csv ~header:("cov", name ^ "_minus_METAHVP") pts);
+      Buffer.add_char buf '\n')
+    aggregated;
+  Buffer.contents buf

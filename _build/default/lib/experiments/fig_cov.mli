@@ -1,0 +1,33 @@
+(** Figures 2–4 (and the 8–34 family): minimum-yield difference from
+    METAHVP as platform heterogeneity (coefficient of variation of node
+    capacities) grows.
+
+    Each sample is one instance solved by both METAHVP and a contender;
+    the y value is [contender_yield - metahvp_yield], so points below zero
+    mean METAHVP wins. Figure 3 holds CPU homogeneous, Figure 4 memory. *)
+
+type variant = Fully_heterogeneous | Cpu_homogeneous | Mem_homogeneous
+
+val variant_name : variant -> string
+
+type series = {
+  algorithm : string;
+  samples : (float * float) list;  (** (cov, yield difference) *)
+}
+
+type result = {
+  variant : variant;
+  hosts : int;
+  services : int;
+  slack : float;
+  series : series list;
+  metahvp_failures : int;  (** instances METAHVP itself could not solve *)
+  n_instances : int;
+}
+
+val run :
+  ?progress:(string -> unit) -> ?slack:float -> Scale.t -> variant -> result
+(** [slack] overrides the scale's slack, giving the Fig. 8–34 families. *)
+
+val report : result -> string
+(** Per-CoV average table, ASCII scatter per contender, and inline CSV. *)

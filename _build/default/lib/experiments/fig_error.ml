@@ -1,0 +1,170 @@
+type series = {
+  name : string;
+  samples : (float * float) list;
+}
+
+type result = {
+  services : int;
+  hosts : int;
+  slack : float;
+  cov : float;
+  series : series list;
+  n_instances : int;
+}
+
+let run ?(progress = fun _ -> ()) ?slack ?cov (scale : Scale.t) ~services =
+  let slack = Option.value slack ~default:scale.error_slack in
+  let cov = Option.value cov ~default:scale.error_cov in
+  let metahvp = Heuristics.Algorithms.metahvp in
+  let instances =
+    Corpus.sweep ~hosts:scale.error_hosts ~services ~covs:[ cov ]
+      ~slacks:[ slack ] ~reps:scale.error_reps ()
+  in
+  let n = List.length instances in
+  progress (Printf.sprintf "fig-error: %d services, %d instances" services n);
+  (* Accumulators keyed by series name; each sample is (max_error, yield). *)
+  let acc : (string, (float * float) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let push name x y =
+    let cell =
+      match Hashtbl.find_opt acc name with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.add acc name c;
+          c
+    in
+    cell := (x, y) :: !cell
+  in
+  List.iteri
+    (fun i ((spec : Corpus.spec), true_instance) ->
+      (* Ideal: plan with perfect knowledge. *)
+      let ideal = metahvp.solve true_instance in
+      (* Zero knowledge: even spread + equal weights, error-independent. *)
+      let zero_knowledge =
+        match Sharing.Zero_knowledge.place true_instance with
+        | None -> None
+        | Some placement ->
+            Sharing.Runtime_eval.actual_min_yield Sharing.Policy.Equal_weights
+              ~true_instance ~estimated:true_instance placement
+      in
+      let perturb_rng = Corpus.rng_of_spec { spec with rep = spec.rep + 1000 }
+      in
+      List.iter
+        (fun max_error ->
+          (match ideal with
+          | Some sol -> push "ideal" max_error sol.min_yield
+          | None -> ());
+          (match zero_knowledge with
+          | Some y -> push "zero-knowledge" max_error y
+          | None -> ());
+          let estimated_base =
+            Workload.Errors.perturb
+              ~rng:(Prng.Rng.copy perturb_rng)
+              ~max_error true_instance
+          in
+          List.iter
+            (fun threshold ->
+              let estimated =
+                Workload.Errors.apply_threshold ~threshold estimated_base
+              in
+              match metahvp.solve estimated with
+              | None -> ()
+              | Some sol ->
+                  let eval policy =
+                    Sharing.Runtime_eval.actual_min_yield policy ~true_instance
+                      ~estimated sol.placement
+                  in
+                  (match eval Sharing.Policy.Alloc_weights with
+                  | Some y ->
+                      push
+                        (Printf.sprintf "weight, min=%.2f" threshold)
+                        max_error y
+                  | None -> ());
+                  (match eval Sharing.Policy.Equal_weights with
+                  | Some y ->
+                      push
+                        (Printf.sprintf "equal, min=%.2f" threshold)
+                        max_error y
+                  | None -> ());
+                  if threshold = 0. then
+                    match eval Sharing.Policy.Alloc_caps with
+                    | Some y -> push "caps, min=0.00" max_error y
+                    | None -> ())
+            scale.error_thresholds)
+        scale.error_max_errors;
+      if (i + 1) mod 2 = 0 then
+        progress
+          (Printf.sprintf "fig-error: %d services, instance %d/%d" services
+             (i + 1) n))
+    instances;
+  let order name =
+    match name with
+    | "ideal" -> 0
+    | "zero-knowledge" -> 1
+    | "caps, min=0.00" -> 2
+    | _ -> 3
+  in
+  let series =
+    Hashtbl.fold (fun name cell out ->
+        { name; samples = List.rev !cell } :: out)
+      acc []
+    |> List.sort (fun a b ->
+           match compare (order a.name) (order b.name) with
+           | 0 -> compare a.name b.name
+           | c -> c)
+  in
+  {
+    services;
+    hosts = scale.error_hosts;
+    slack;
+    cov;
+    series;
+    n_instances = n;
+  }
+
+let report result =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "== Fig. 5-7 family: min achieved yield vs max CPU-need error ==\n\
+        %d hosts, %d services, slack %.1f, cov %.1f, %d instances\n\
+        (averages over instances whose planning step succeeded)\n\n"
+       result.hosts result.services result.slack result.cov
+       result.n_instances);
+  let aggregated =
+    List.map
+      (fun s -> (s.name, Stats.Series.aggregate s.samples))
+      result.series
+  in
+  let errors =
+    List.sort_uniq Float.compare
+      (List.concat_map
+         (fun (_, pts) -> List.map (fun p -> p.Stats.Series.x) pts)
+         aggregated)
+  in
+  let table =
+    Stats.Table.create ~headers:("max error" :: List.map fst aggregated)
+  in
+  List.iter
+    (fun err ->
+      let row =
+        List.map
+          (fun (_, pts) ->
+            match List.find_opt (fun p -> p.Stats.Series.x = err) pts with
+            | Some p -> Printf.sprintf "%.4f" p.Stats.Series.mean
+            | None -> "n/a")
+          aggregated
+      in
+      Stats.Table.add_row table (Printf.sprintf "%.2f" err :: row))
+    errors;
+  Buffer.add_string buf (Stats.Table.render table);
+  Buffer.add_string buf "\n\nCSV (per-error averages):\n";
+  List.iter
+    (fun (name, pts) ->
+      Buffer.add_string buf
+        (Stats.Series.to_csv ~header:("max_error", name) pts);
+      Buffer.add_char buf '\n')
+    aggregated;
+  Buffer.contents buf

@@ -1,0 +1,36 @@
+(** Figures 5–7 (and the 35–66 family): achieved minimum yield vs maximum
+    CPU-need estimation error.
+
+    For each instance and maximum error, the true instance is perturbed into
+    an estimated one; METAHVP plans on the estimate (optionally after the
+    minimum-threshold mitigation), and the resulting placement is executed
+    against the true needs under ALLOCWEIGHTS / EQUALWEIGHTS (plus the
+    ALLOCCAPS reference the paper's §6.2 text discusses). The baselines are
+    the perfect-knowledge plan ("ideal") and the even-spread zero-knowledge
+    placement under equal weights. Values are averaged over instances where
+    the planning step succeeded, as in the paper. *)
+
+type series = {
+  name : string;
+  samples : (float * float) list;  (** (max error, min achieved yield) *)
+}
+
+type result = {
+  services : int;
+  hosts : int;
+  slack : float;
+  cov : float;
+  series : series list;
+  n_instances : int;
+}
+
+val run :
+  ?progress:(string -> unit) ->
+  ?slack:float ->
+  ?cov:float ->
+  Scale.t ->
+  services:int ->
+  result
+(** [slack]/[cov] override the scale's defaults (Fig. 35–66 families). *)
+
+val report : result -> string

@@ -1,0 +1,37 @@
+(** Reproduction of the §5.1 methodology that produced METAHVPLIGHT.
+
+    The paper filtered the 253 heterogeneous vector-packing strategies by
+    running all of them on the full corpus, sorting "first by success rate,
+    then by average achieved minimum yield", and reading the trends off the
+    top 50 per dataset (which item orders and bin orders dominate). This
+    driver re-runs exactly that ranking on a corpus and reports the top-N,
+    letting the reader check the trends the LIGHT subset is built from:
+    descending MAX/SUM/MAXDIFFERENCE(/MAXRATIO) item orders, ascending
+    LEX/MAX/SUM plus a few descending bin orders, and all three algorithm
+    families represented. *)
+
+type row = {
+  strategy : Packing.Strategy.t;
+  name : string;
+  successes : int;
+  n_instances : int;
+  mean_yield : float;  (** over its own successes; 0 when none *)
+  in_light_subset : bool;
+}
+
+val run :
+  ?progress:(string -> unit) ->
+  ?hosts:int ->
+  ?services:int ->
+  ?covs:float list ->
+  ?slacks:float list ->
+  ?reps:int ->
+  unit ->
+  row list
+(** All 253 HVP strategies, each binary-searched on every corpus instance;
+    rows sorted by (success rate desc, mean yield desc). Defaults give a
+    ~60-instance corpus at 10 hosts / 40 services. *)
+
+val report : ?top:int -> row list -> string
+(** The top-N table (default 25) plus how many of them belong to the LIGHT
+    subset. *)

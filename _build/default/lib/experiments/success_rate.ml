@@ -1,0 +1,74 @@
+type cell = {
+  algorithm : string;
+  slack : float;
+  solved : int;
+  total : int;
+}
+
+(* Defaults use 1.5 services per node — the paper's hardest consolidation
+   ratio (Table 1's 100-service scenario): few, large memory items make the
+   packing feasibility genuinely tight. With many small items even 5% slack
+   packs trivially. *)
+let run ?(progress = fun _ -> ()) ?(hosts = 10) ?(services = 15)
+    ?(slacks = [ 0.05; 0.1; 0.2; 0.3; 0.5 ]) ?(covs = [ 0.5; 1.0 ])
+    ?(reps = 5) () =
+  let algorithms =
+    [
+      Heuristics.Algorithms.rrnz ~seed:1;
+      Heuristics.Algorithms.metagreedy;
+      Heuristics.Algorithms.metavp;
+      Heuristics.Algorithms.metahvp;
+    ]
+  in
+  List.concat_map
+    (fun slack ->
+      progress (Printf.sprintf "success-rate: slack %.2f" slack);
+      let instances =
+        Corpus.sweep ~hosts ~services ~covs ~slacks:[ slack ] ~reps ()
+      in
+      let total = List.length instances in
+      List.map
+        (fun (algo : Heuristics.Algorithms.t) ->
+          let solved =
+            List.length
+              (List.filter (fun (_, inst) -> algo.solve inst <> None)
+                 instances)
+          in
+          { algorithm = algo.name; slack; solved; total })
+        algorithms)
+    slacks
+
+let report cells =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "== Success rate vs memory slack (hardness cliff) ==\n";
+  let algorithms =
+    List.sort_uniq compare (List.map (fun c -> c.algorithm) cells)
+  in
+  let slacks = List.sort_uniq compare (List.map (fun c -> c.slack) cells) in
+  let table =
+    Stats.Table.create ~headers:("slack" :: algorithms)
+  in
+  List.iter
+    (fun slack ->
+      let row =
+        List.map
+          (fun algorithm ->
+            match
+              List.find_opt
+                (fun c -> c.algorithm = algorithm && c.slack = slack)
+                cells
+            with
+            | Some c -> Printf.sprintf "%d/%d" c.solved c.total
+            | None -> "n/a")
+          algorithms
+      in
+      Stats.Table.add_row table (Printf.sprintf "%.2f" slack :: row))
+    slacks;
+  Buffer.add_string buf (Stats.Table.render table);
+  Buffer.add_string buf
+    "\nPaper's shape: success rates collapse as slack shrinks. At this \
+     scale the deterministic search families (greedy, VP, HVP) find the \
+     same feasible sets — the separation shows against randomized \
+     rounding (RRNZ), as in Table 1's S column.\n";
+  Buffer.contents buf

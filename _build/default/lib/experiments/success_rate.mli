@@ -1,0 +1,30 @@
+(** Success rate vs memory slack.
+
+    The paper's instance hardness is controlled by the memory slack
+    (§4: "a low value corresponding to a more difficult instance"), and
+    much of Table 1's signal is in success rates (e.g. METAVP solves
+    15,376 of 36,900 100-service instances). This driver plots the success
+    rate of each major algorithm against slack, making the hardness cliff —
+    and which algorithms push it left — directly visible. *)
+
+type cell = {
+  algorithm : string;
+  slack : float;
+  solved : int;
+  total : int;
+}
+
+val run :
+  ?progress:(string -> unit) ->
+  ?hosts:int ->
+  ?services:int ->
+  ?slacks:float list ->
+  ?covs:float list ->
+  ?reps:int ->
+  unit ->
+  cell list
+(** Defaults: 10 hosts, 40 services, slacks 0.05–0.5, covs {0.5, 1.0},
+    3 reps; algorithms METAGREEDY, METAVP, METAHVP (LP-based ones are too
+    slow for a sweep and dominated anyway). *)
+
+val report : cell list -> string

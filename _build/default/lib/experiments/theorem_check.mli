@@ -1,0 +1,14 @@
+(** Empirical illustration of Theorem 1: the EQUALWEIGHTS competitive ratio
+    bound (2J−1)/J², tight on the adversarial instance. *)
+
+type row = {
+  j : int;
+  bound : float;
+  worst_case_ratio : float;  (** on the tight instance n = (1, 1/J, ...) *)
+  min_random_ratio : float;  (** worst ratio seen over random instances *)
+}
+
+val run : ?random_per_j:int -> ?js:int list -> unit -> row list
+(** Defaults: J in 2..10, 200 random single-node instances per J. *)
+
+val report : row list -> string

@@ -1,0 +1,1 @@
+lib/heuristics/algorithms.ml: Greedy Milp Model Packing Printf Prng Rounding String Vp_solver

@@ -1,0 +1,1 @@
+lib/heuristics/algorithms.mli: Greedy Model Packing Vp_solver

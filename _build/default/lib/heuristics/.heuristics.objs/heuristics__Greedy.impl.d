@@ -1,0 +1,1 @@
+lib/heuristics/greedy.ml: Array Epair Float List Model Vec Vector Vp_solver

@@ -1,0 +1,1 @@
+lib/heuristics/greedy.mli: Model Vp_solver

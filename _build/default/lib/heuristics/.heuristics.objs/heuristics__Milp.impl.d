@@ -1,0 +1,1 @@
+lib/heuristics/milp.ml: Array Epair Fun List Lp Model Printf Vec Vector Vp_solver

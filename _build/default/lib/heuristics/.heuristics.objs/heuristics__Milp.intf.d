@@ -1,0 +1,1 @@
+lib/heuristics/milp.mli: Lp Model Vp_solver

@@ -1,0 +1,1 @@
+lib/heuristics/rounding.ml: Array Epair Float Fun Milp Model Prng Vec Vector Vp_solver

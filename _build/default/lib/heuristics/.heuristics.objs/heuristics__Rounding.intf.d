@@ -1,0 +1,1 @@
+lib/heuristics/rounding.mli: Model Prng Vp_solver

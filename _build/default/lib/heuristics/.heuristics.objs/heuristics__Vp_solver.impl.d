@@ -1,0 +1,1 @@
+lib/heuristics/vp_solver.ml: Array Binary_search List Model Packing

@@ -1,0 +1,1 @@
+lib/heuristics/vp_solver.mli: Model Packing

@@ -1,0 +1,70 @@
+type t = {
+  name : string;
+  solve : Model.Instance.t -> Vp_solver.solution option;
+}
+
+let metagreedy = { name = "METAGREEDY"; solve = Greedy.metagreedy }
+
+let metavp =
+  { name = "METAVP";
+    solve = Vp_solver.solve_multi Packing.Strategy.vp_all }
+
+let metahvp =
+  { name = "METAHVP";
+    solve = Vp_solver.solve_multi Packing.Strategy.hvp_all }
+
+let metahvplight =
+  { name = "METAHVPLIGHT";
+    solve = Vp_solver.solve_multi Packing.Strategy.hvp_light }
+
+let rrnd ~seed =
+  {
+    name = "RRND";
+    solve =
+      (fun instance ->
+        Rounding.rrnd ~rng:(Prng.Rng.create ~seed) instance);
+  }
+
+let rrnz ~seed =
+  {
+    name = "RRNZ";
+    solve =
+      (fun instance ->
+        Rounding.rrnz ~rng:(Prng.Rng.create ~seed) instance);
+  }
+
+let exact_milp ?node_limit () =
+  {
+    name = "MILP";
+    solve =
+      (fun instance ->
+        match Milp.solve_exact ?node_limit instance with
+        | Some (Some e) -> Some e.Milp.solution
+        | Some None | None -> None);
+  }
+
+let single_vp strategy =
+  { name = Packing.Strategy.name strategy;
+    solve = Vp_solver.solve strategy }
+
+let single_greedy sort place =
+  {
+    name =
+      Printf.sprintf "GREEDY-%s/%s" (Greedy.sort_name sort)
+        (Greedy.place_name place);
+    solve = Greedy.solve sort place;
+  }
+
+let majors ~seed =
+  [ rrnd ~seed; rrnz ~seed; metagreedy; metavp; metahvp ]
+
+let by_name ~seed name =
+  match String.uppercase_ascii name with
+  | "RRND" -> Some (rrnd ~seed)
+  | "RRNZ" -> Some (rrnz ~seed)
+  | "METAGREEDY" -> Some metagreedy
+  | "METAVP" -> Some metavp
+  | "METAHVP" -> Some metahvp
+  | "METAHVPLIGHT" -> Some metahvplight
+  | "MILP" -> Some (exact_milp ())
+  | _ -> None

@@ -1,0 +1,43 @@
+(** Uniform algorithm registry.
+
+    Every placement algorithm of the paper behind one signature, so the
+    experiment harness, CLI, and benches can treat them interchangeably. *)
+
+type t = {
+  name : string;
+  solve : Model.Instance.t -> Vp_solver.solution option;
+}
+
+val metagreedy : t
+(** Best of the 49 greedy combinations (§3.4). *)
+
+val metavp : t
+(** Binary search over the 33 homogeneous vector-packing strategies
+    (§3.5.3). *)
+
+val metahvp : t
+(** Binary search over the 253 heterogeneous strategies (§3.5.5). *)
+
+val metahvplight : t
+(** Binary search over the pruned 60-strategy subset (§5.1). *)
+
+val rrnd : seed:int -> t
+val rrnz : seed:int -> t
+(** LP-relaxation rounding (§3.3). Deterministic given the seed. *)
+
+val exact_milp : ?node_limit:int -> unit -> t
+(** Branch-and-bound on the full MILP; only tractable on small instances. *)
+
+val single_vp : Packing.Strategy.t -> t
+(** A single packing strategy driven by the yield binary search; the name
+    is {!Packing.Strategy.name}. *)
+
+val single_greedy : Greedy.sort_strategy -> Greedy.place_strategy -> t
+
+val majors : seed:int -> t list
+(** The five algorithms of Table 1: RRND, RRNZ, METAGREEDY, METAVP,
+    METAHVP, in that order. *)
+
+val by_name : seed:int -> string -> t option
+(** Look up any registry algorithm by its name (case-insensitive); accepts
+    the five majors plus ["METAHVPLIGHT"] and ["MILP"]. *)

@@ -1,0 +1,21 @@
+let default_tolerance = 1e-4
+
+let maximize ?(tolerance = default_tolerance) oracle =
+  if tolerance <= 0. then invalid_arg "Binary_search.maximize: tolerance";
+  match oracle 1. with
+  | Some sol -> Some (sol, 1.)
+  | None -> (
+      match oracle 0. with
+      | None -> None
+      | Some sol0 ->
+          let best = ref (sol0, 0.) in
+          let lo = ref 0. and hi = ref 1. in
+          while !hi -. !lo > tolerance do
+            let mid = 0.5 *. (!lo +. !hi) in
+            match oracle mid with
+            | Some sol ->
+                best := (sol, mid);
+                lo := mid
+            | None -> hi := mid
+          done;
+          Some !best)

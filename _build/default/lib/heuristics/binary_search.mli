@@ -1,0 +1,18 @@
+(** Binary search on the yield (paper §3.5).
+
+    Since at a fixed yield every service's demand is fixed, any packing
+    heuristic doubles as a feasibility oracle for that yield; maximizing the
+    minimum yield then reduces to a binary search for the largest yield at
+    which the oracle succeeds. The search stops when the bracketing interval
+    is narrower than the paper's threshold 1e-4. *)
+
+val default_tolerance : float
+(** 1e-4, the paper's threshold. *)
+
+val maximize :
+  ?tolerance:float -> (float -> 'a option) -> ('a * float) option
+(** [maximize oracle] probes yields in [0, 1]. Returns the solution produced
+    at the highest successful probe together with that yield, or [None] when
+    the oracle already fails at yield 0. The oracle is first probed at 1
+    (instances with slack can often run everything at full performance),
+    then at 0, then bisected. *)

@@ -1,0 +1,50 @@
+(** The greedy algorithm family (paper §3.4, inherited from [3]).
+
+    A greedy algorithm sorts the services with one of seven strategies
+    (S1–S7), then walks the sorted list placing each service on a node
+    chosen among the feasible ones by one of seven selection strategies
+    (P1–P7) — 49 combinations. METAGREEDY runs all 49 and keeps the
+    placement with the best water-filled minimum yield.
+
+    Feasibility while placing is judged on rigid requirements only (a
+    placement only {e fails} when a requirement cannot be met); the
+    selection metrics are computed on each node's {e virtual load} — the
+    sum of requirement plus full need of the services already committed to
+    it — so that fluid demands are balanced even when requirements alone
+    are sparse. All metrics use aggregate vectors. *)
+
+type sort_strategy =
+  | S1  (** no sorting *)
+  | S2  (** decreasing max need *)
+  | S3  (** decreasing sum of needs *)
+  | S4  (** decreasing max requirement *)
+  | S5  (** decreasing sum of requirements *)
+  | S6  (** decreasing max(sum of requirements, sum of needs) *)
+  | S7  (** decreasing sum of requirements and needs *)
+
+type place_strategy =
+  | P1  (** most available capacity in the dimension of maximum need *)
+  | P2  (** min ratio of summed loads to summed capacities after placement *)
+  | P3  (** least remaining capacity in dim of largest requirement (best fit) *)
+  | P4  (** least aggregate available capacity (best fit) *)
+  | P5  (** most remaining capacity in dim of largest requirement (worst fit) *)
+  | P6  (** most total available resource (worst fit) *)
+  | P7  (** first fit *)
+
+val all_combinations : (sort_strategy * place_strategy) list
+(** The 49 (sort, place) pairs in (S1,P1), (S1,P2), ... order. *)
+
+val place :
+  sort_strategy -> place_strategy -> Model.Instance.t ->
+  Model.Placement.t option
+(** Run one greedy combination; [None] when some service fits nowhere. *)
+
+val solve :
+  sort_strategy -> place_strategy -> Model.Instance.t ->
+  Vp_solver.solution option
+
+val metagreedy : Model.Instance.t -> Vp_solver.solution option
+(** Best of the 49 by achieved minimum yield. *)
+
+val sort_name : sort_strategy -> string
+val place_name : place_strategy -> string

@@ -1,0 +1,28 @@
+(** Randomized rounding of the relaxed LP solution (paper §3.3).
+
+    Both algorithms first solve the rational relaxation of the MILP and use
+    the fractional [e_jh] values as placement probabilities. Services are
+    taken in id order; a drawn node that cannot satisfy the service's rigid
+    requirements (given what was already committed) gets its probability
+    zeroed and the draw is repeated. RRND fails when a service's entire
+    probability row is exhausted; RRNZ (§3.3.2) first replaces every zero
+    probability with [epsilon], so a service can land on any node that has
+    room. *)
+
+val rrnd :
+  ?rng:Prng.Rng.t -> Model.Instance.t -> Vp_solver.solution option
+(** Randomized Rounding. Default [rng] is seeded with 0. *)
+
+val rrnz :
+  ?rng:Prng.Rng.t -> ?epsilon:float -> Model.Instance.t ->
+  Vp_solver.solution option
+(** Randomized Rounding with No Zero probabilities; [epsilon] defaults to
+    the paper's 0.01. *)
+
+val round_probabilities :
+  rng:Prng.Rng.t ->
+  e_matrix:float array array ->
+  Model.Instance.t ->
+  Model.Placement.t option
+(** The shared rounding pass, exposed for tests: given a J x H probability
+    matrix, place services in order with requirement-feasibility retries. *)

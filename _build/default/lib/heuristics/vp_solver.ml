@@ -1,0 +1,39 @@
+type solution = {
+  placement : Model.Placement.t;
+  min_yield : float;
+}
+
+let items_at_yield instance y =
+  Array.init (Model.Instance.n_services instance) (fun j ->
+      let s = Model.Instance.service instance j in
+      Packing.Item.v ~id:j ~demand:(Model.Service.demand_at_yield s y))
+
+let fresh_bins instance =
+  Array.init (Model.Instance.n_nodes instance) (fun h ->
+      let node = Model.Instance.node instance h in
+      Packing.Bin.v ~id:h ~capacity:node.Model.Node.capacity)
+
+let pack_at_yield strategy instance y =
+  let items = items_at_yield instance y in
+  let bins = fresh_bins instance in
+  Packing.Strategy.run strategy ~bins ~items
+
+let evaluate instance placement =
+  match Model.Placement.min_yield instance placement with
+  | None -> None
+  | Some y -> Some { placement; min_yield = y }
+
+let finish instance = function
+  | None -> None
+  | Some (placement, _probed_yield) -> evaluate instance placement
+
+let solve ?tolerance strategy instance =
+  Binary_search.maximize ?tolerance (pack_at_yield strategy instance)
+  |> finish instance
+
+let solve_multi ?tolerance strategies instance =
+  let oracle y =
+    List.find_map (fun strategy -> pack_at_yield strategy instance y)
+      strategies
+  in
+  Binary_search.maximize ?tolerance oracle |> finish instance

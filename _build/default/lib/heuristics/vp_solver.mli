@@ -1,0 +1,44 @@
+(** Vector-packing placement solvers.
+
+    Adapters from {!Packing} strategies to the resource-allocation problem:
+    at a candidate yield, every service becomes an item whose demand is
+    [(rᵉ + y·nᵉ, rᵃ + y·nᵃ)] and every node a bin; a successful packing is
+    a valid placement at that yield. *)
+
+type solution = {
+  placement : Model.Placement.t;
+  min_yield : float;
+      (** Actual minimum yield of the placement (water-filled), which is at
+          least the yield the binary search proved feasible. *)
+}
+
+val items_at_yield : Model.Instance.t -> float -> Packing.Item.t array
+(** Service demands at a common yield, in service-id order. *)
+
+val fresh_bins : Model.Instance.t -> Packing.Bin.t array
+(** Empty bins mirroring the instance's nodes. *)
+
+val pack_at_yield :
+  Packing.Strategy.t -> Model.Instance.t -> float -> Model.Placement.t option
+(** One fixed-yield feasibility probe with a single strategy. *)
+
+val solve :
+  ?tolerance:float ->
+  Packing.Strategy.t ->
+  Model.Instance.t ->
+  solution option
+(** Binary-search the yield with a single strategy as oracle. *)
+
+val solve_multi :
+  ?tolerance:float ->
+  Packing.Strategy.t list ->
+  Model.Instance.t ->
+  solution option
+(** Binary-search where each probe tries the strategies in order and
+    succeeds as soon as one packs — the META* construction (§3.5.3,
+    §3.5.5). The achieved minimum yield is evaluated on the final
+    placement. *)
+
+val evaluate : Model.Instance.t -> Model.Placement.t -> solution option
+(** Water-fill a placement into a [solution] (shared by greedy and rounding
+    algorithms). *)

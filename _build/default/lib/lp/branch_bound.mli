@@ -1,0 +1,24 @@
+(** Branch-and-bound MILP solver over {!Simplex}.
+
+    Replaces the GLPK/CPLEX MILP back-ends for the exact solutions of paper
+    §3.1–3.2. Depth-first search branching on the most fractional integer
+    variable; each branch tightens that variable's bounds
+    ([x <= floor v] / [x >= ceil v]) and re-solves the LP relaxation.
+    Nodes whose relaxation cannot beat the incumbent by more than
+    [absolute_gap] are pruned — with the paper's binary placement variables
+    this explores a manageable tree on small instances. *)
+
+type outcome =
+  | Optimal of Simplex.solution
+      (** Proven optimal within [absolute_gap]. *)
+  | Infeasible
+  | Unbounded
+      (** The LP relaxation is unbounded (cannot happen for the paper's
+          bounded formulation). *)
+  | Node_limit of Simplex.solution option
+      (** Search truncated; carries the best incumbent found, if any. *)
+
+val solve :
+  ?node_limit:int -> ?absolute_gap:float -> Problem.t -> outcome
+(** [node_limit] defaults to 200_000 relaxation solves; [absolute_gap]
+    defaults to [1e-7]. *)

@@ -1,0 +1,126 @@
+type relation = Le | Ge | Eq
+
+type linear_constraint = {
+  name : string;
+  coeffs : (int * float) list;
+  relation : relation;
+  rhs : float;
+}
+
+type sense = Maximize | Minimize
+
+type t = {
+  n_vars : int;
+  sense : sense;
+  objective : float array;
+  constraints : linear_constraint list;
+  lower : float array;
+  upper : float array;
+  integer : bool array;
+}
+
+let check_constraint n_vars cstr =
+  List.iter
+    (fun (v, _) ->
+      if v < 0 || v >= n_vars then
+        invalid_arg
+          (Printf.sprintf "Lp.Problem: constraint %S references variable %d"
+             cstr.name v))
+    cstr.coeffs
+
+let create ?(sense = Maximize) ?lower ?upper ?(integer = []) ~n_vars
+    ~objective ~constraints () =
+  if n_vars <= 0 then invalid_arg "Lp.Problem.create: n_vars must be positive";
+  if Array.length objective <> n_vars then
+    invalid_arg "Lp.Problem.create: objective length mismatch";
+  let lower = match lower with Some l -> l | None -> Array.make n_vars 0. in
+  let upper =
+    match upper with Some u -> u | None -> Array.make n_vars infinity
+  in
+  if Array.length lower <> n_vars || Array.length upper <> n_vars then
+    invalid_arg "Lp.Problem.create: bounds length mismatch";
+  Array.iteri
+    (fun i l ->
+      if l < 0. || not (Float.is_finite l) then
+        invalid_arg
+          (Printf.sprintf
+             "Lp.Problem.create: variable %d has unsupported lower bound %g" i
+             l);
+      if upper.(i) < l then
+        invalid_arg
+          (Printf.sprintf "Lp.Problem.create: variable %d has upper < lower" i))
+    lower;
+  let integer_flags = Array.make n_vars false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n_vars then
+        invalid_arg "Lp.Problem.create: integer variable out of range";
+      integer_flags.(v) <- true)
+    integer;
+  List.iter (check_constraint n_vars) constraints;
+  {
+    n_vars;
+    sense;
+    objective = Array.copy objective;
+    constraints;
+    lower = Array.copy lower;
+    upper = Array.copy upper;
+    integer = integer_flags;
+  }
+
+let c ?(name = "") coeffs relation rhs = { name; coeffs; relation; rhs }
+
+let relax p = { p with integer = Array.make p.n_vars false }
+
+let n_constraints p = List.length p.constraints
+
+let eval_constraint x cstr =
+  List.fold_left (fun acc (v, a) -> acc +. (a *. x.(v))) 0. cstr.coeffs
+
+let is_feasible ?(tol = 1e-6) p x =
+  Array.length x = p.n_vars
+  && (let ok = ref true in
+      for i = 0 to p.n_vars - 1 do
+        if x.(i) < p.lower.(i) -. tol || x.(i) > p.upper.(i) +. tol then
+          ok := false;
+        if p.integer.(i) && Float.abs (x.(i) -. Float.round x.(i)) > tol then
+          ok := false
+      done;
+      !ok)
+  && List.for_all
+       (fun cstr ->
+         let lhs = eval_constraint x cstr in
+         match cstr.relation with
+         | Le -> lhs <= cstr.rhs +. tol
+         | Ge -> lhs >= cstr.rhs -. tol
+         | Eq -> Float.abs (lhs -. cstr.rhs) <= tol)
+       p.constraints
+
+let objective_value p x =
+  let acc = ref 0. in
+  for i = 0 to p.n_vars - 1 do
+    acc := !acc +. (p.objective.(i) *. x.(i))
+  done;
+  !acc
+
+let pp_relation ppf = function
+  | Le -> Format.pp_print_string ppf "<="
+  | Ge -> Format.pp_print_string ppf ">="
+  | Eq -> Format.pp_print_string ppf "="
+
+let pp ppf p =
+  let sense = match p.sense with Maximize -> "max" | Minimize -> "min" in
+  Format.fprintf ppf "@[<v>%s" sense;
+  Array.iteri
+    (fun i coef ->
+      if coef <> 0. then Format.fprintf ppf " %+gx%d" coef i)
+    p.objective;
+  Format.fprintf ppf "@,s.t.";
+  List.iter
+    (fun cstr ->
+      Format.fprintf ppf "@,  ";
+      List.iter (fun (v, a) -> Format.fprintf ppf "%+gx%d " a v) cstr.coeffs;
+      Format.fprintf ppf "%a %g" pp_relation cstr.relation cstr.rhs;
+      if cstr.name <> "" then Format.fprintf ppf "  (%s)" cstr.name)
+    p.constraints;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** Two-phase dense primal simplex.
+
+    Solves the rational relaxation of a {!Problem.t} (integrality flags are
+    ignored — use {!Branch_bound} for MILPs). The implementation is the
+    classic full-tableau method:
+
+    - variable lower bounds are shifted out and finite upper bounds become
+      explicit rows, so the working form is [min c'x, Ax {<=,>=,=} b, x >= 0];
+    - phase 1 minimizes the sum of artificial variables to find a basic
+      feasible solution; phase 2 optimizes the real objective;
+    - Dantzig pricing with an automatic permanent switch to Bland's rule
+      after an iteration budget, guaranteeing termination.
+
+    The dense tableau is O((m+u)·(n+m)) memory for [m] constraints, [u]
+    finite upper bounds and [n] variables, which is ample for the
+    reduced-size instances the LP-based algorithms of the paper (RRND/RRNZ,
+    exact bounds) are exercised on; see DESIGN.md §3. *)
+
+type solution = { objective : float; x : float array }
+
+type result = Optimal of solution | Infeasible | Unbounded
+
+val solve : ?max_iterations:int -> Problem.t -> result
+(** Solve the LP relaxation. [max_iterations] defaults to
+    [max 20_000 (50 * (m + n))]; if exhausted the solver raises [Failure]
+    (never observed on the test corpus — the bound is an anti-hang guard). *)
+
+val feasibility_tol : float
+(** Tolerance used to declare phase-1 success and to clean near-zero values
+    in the returned point. *)

@@ -1,0 +1,1 @@
+lib/model/analysis.ml: Array Format Instance Node Printf String Vec Yield

@@ -1,0 +1,1 @@
+lib/model/codec.ml: Array Buffer Fun In_channel Instance List Node Printf Service String Vec

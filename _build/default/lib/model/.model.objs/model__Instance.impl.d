@@ -1,0 +1,1 @@
+lib/model/instance.ml: Array Format Node Service Vec

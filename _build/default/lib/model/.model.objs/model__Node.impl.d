@@ -1,0 +1,1 @@
+lib/model/node.ml: Epair Format Printf Vec Vector

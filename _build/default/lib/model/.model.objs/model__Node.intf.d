@@ -1,0 +1,1 @@
+lib/model/node.mli: Format Vec

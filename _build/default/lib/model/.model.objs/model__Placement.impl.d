@@ -1,0 +1,1 @@
+lib/model/placement.ml: Array Epair Float Format Instance List Node Result Service Vec Vector Yield

@@ -1,0 +1,1 @@
+lib/model/placement.mli: Format Instance Service

@@ -1,0 +1,1 @@
+lib/model/report.ml: Array Buffer Epair Float Instance List Node Placement Printf Service String Vec Vector

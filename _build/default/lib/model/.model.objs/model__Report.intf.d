@@ -1,0 +1,1 @@
+lib/model/report.mli: Instance Placement

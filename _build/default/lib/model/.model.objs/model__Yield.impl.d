@@ -1,0 +1,1 @@
+lib/model/yield.ml: Array Epair Float List Node Option Service Vec Vector

@@ -1,0 +1,1 @@
+lib/model/yield.mli: Node Service

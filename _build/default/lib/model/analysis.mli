@@ -1,0 +1,29 @@
+(** Instance hardness analysis.
+
+    Summarizes the knobs the paper's generator controls (per-dimension
+    utilizations, memory slack, platform heterogeneity) for {e any}
+    instance, generated or hand-written — what a capacity planner reads
+    before choosing an algorithm, and what the CLI's [inspect] prints. *)
+
+type t = {
+  hosts : int;
+  services : int;
+  dims : int;
+  services_per_node : float;
+  requirement_utilization : float array;
+      (** per dimension, total aggregate requirement / total capacity; the
+          paper's memory slack is [1 - requirement_utilization.(1)] *)
+  need_utilization : float array;
+      (** per dimension, total aggregate need / total capacity; the paper
+          normalizes CPU to 1.0 *)
+  capacity_cov : float array;
+      (** per dimension, coefficient of variation of node aggregate
+          capacities — the heterogeneity axis of Figures 2–4 *)
+  all_services_placeable : bool;
+      (** every service's requirements fit on at least one empty node — a
+          cheap necessary condition for feasibility *)
+}
+
+val analyze : Instance.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type t = {
+  nodes : Node.t array;
+  services : Service.t array;
+  dims : int;
+}
+
+let v ~nodes ~services =
+  if Array.length nodes = 0 then invalid_arg "Instance.v: no nodes";
+  if Array.length services = 0 then invalid_arg "Instance.v: no services";
+  let dims = Node.dim nodes.(0) in
+  Array.iteri
+    (fun i n ->
+      if n.Node.id <> i then invalid_arg "Instance.v: node ids must be 0..H-1";
+      if Node.dim n <> dims then invalid_arg "Instance.v: node dim mismatch")
+    nodes;
+  Array.iteri
+    (fun i s ->
+      if s.Service.id <> i then
+        invalid_arg "Instance.v: service ids must be 0..J-1";
+      if Service.dim s <> dims then
+        invalid_arg "Instance.v: service dim mismatch")
+    services;
+  { nodes; services; dims }
+
+let n_nodes t = Array.length t.nodes
+let n_services t = Array.length t.services
+
+let node t h = t.nodes.(h)
+let service t j = t.services.(j)
+
+let sum_vectors dims proj n get =
+  let acc = Array.make dims 0. in
+  for i = 0 to n - 1 do
+    let v = proj (get i) in
+    for d = 0 to dims - 1 do
+      acc.(d) <- acc.(d) +. Vec.Vector.get v d
+    done
+  done;
+  Vec.Vector.of_array acc
+
+let total_capacity t =
+  sum_vectors t.dims
+    (fun n -> n.Node.capacity.Vec.Epair.aggregate)
+    (Array.length t.nodes)
+    (fun i -> t.nodes.(i))
+
+let total_requirement t =
+  sum_vectors t.dims
+    (fun s -> s.Service.requirement.Vec.Epair.aggregate)
+    (Array.length t.services)
+    (fun i -> t.services.(i))
+
+let total_need t =
+  sum_vectors t.dims
+    (fun s -> s.Service.need.Vec.Epair.aggregate)
+    (Array.length t.services)
+    (fun i -> t.services.(i))
+
+let map_services f t =
+  let services = Array.map f t.services in
+  v ~nodes:t.nodes ~services
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>instance: %d nodes, %d services, %d dims"
+    (Array.length t.nodes) (Array.length t.services) t.dims;
+  Array.iter (fun n -> Format.fprintf ppf "@,  %a" Node.pp n) t.nodes;
+  Array.iter (fun s -> Format.fprintf ppf "@,  %a" Service.pp s) t.services;
+  Format.fprintf ppf "@]"

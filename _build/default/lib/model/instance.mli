@@ -1,0 +1,33 @@
+(** A resource-allocation problem instance: a platform and a workload. *)
+
+type t = private {
+  nodes : Node.t array;
+  services : Service.t array;
+  dims : int;
+}
+
+val v : nodes:Node.t array -> services:Service.t array -> t
+(** Raises [Invalid_argument] when the arrays are empty, dimensions are
+    inconsistent, or ids are not exactly [0..len-1] in order (algorithms
+    index directly by id). *)
+
+val n_nodes : t -> int
+val n_services : t -> int
+
+val node : t -> int -> Node.t
+val service : t -> int -> Service.t
+
+val total_capacity : t -> Vec.Vector.t
+(** Component-wise sum of aggregate node capacities. *)
+
+val total_requirement : t -> Vec.Vector.t
+(** Component-wise sum of aggregate service requirements. *)
+
+val total_need : t -> Vec.Vector.t
+(** Component-wise sum of aggregate service needs. *)
+
+val map_services : (Service.t -> Service.t) -> t -> t
+(** Rebuild the instance with transformed services (ids must be
+    preserved). *)
+
+val pp : Format.formatter -> t -> unit

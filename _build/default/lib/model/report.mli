@@ -1,0 +1,14 @@
+(** Human-readable placement reports.
+
+    Renders an allocation as a per-node table: hosted services, per-service
+    yields, and per-dimension aggregate utilization with ASCII bars — what
+    an operator wants to see after a placement run (used by the CLI and the
+    examples). *)
+
+val render : ?bar_width:int -> Instance.t -> Placement.allocation -> string
+(** Multi-line report. [bar_width] defaults to 20 columns. *)
+
+val utilization : Instance.t -> Placement.allocation -> float array array
+(** [utilization inst alloc] is a H x D matrix of aggregate load divided by
+    aggregate capacity at the allocation's yields (0 for zero-capacity
+    dimensions). Exposed for tests. *)

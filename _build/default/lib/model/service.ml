@@ -1,0 +1,55 @@
+type t = { id : int; requirement : Vec.Epair.t; need : Vec.Epair.t }
+
+let check_nonneg what (p : Vec.Epair.t) =
+  let check v =
+    if Vec.Vector.min_component v < 0. then
+      invalid_arg (Printf.sprintf "Service.v: negative %s component" what)
+  in
+  check p.Vec.Epair.elementary;
+  check p.Vec.Epair.aggregate
+
+let v ~id ~requirement ~need =
+  if Vec.Epair.dim requirement <> Vec.Epair.dim need then
+    invalid_arg "Service.v: requirement/need dimension mismatch";
+  check_nonneg "requirement" requirement;
+  check_nonneg "need" need;
+  { id; requirement; need }
+
+let make_2d ~id ?(cpu_req = (0., 0.)) ?(mem_req = 0.) ?(cpu_need = (0., 0.))
+    ?(mem_need = 0.) () =
+  let pair (ce, ca) m =
+    Vec.Epair.v
+      ~elementary:(Vec.Vector.of_array [| ce; m |])
+      ~aggregate:(Vec.Vector.of_array [| ca; m |])
+  in
+  v ~id ~requirement:(pair cpu_req mem_req) ~need:(pair cpu_need mem_need)
+
+let dim t = Vec.Epair.dim t.requirement
+
+let demand_at_yield t y =
+  Vec.Epair.at_yield ~requirement:t.requirement ~need:t.need y
+
+let has_need t =
+  (not (Vec.Vector.is_zero t.need.Vec.Epair.elementary))
+  || not (Vec.Vector.is_zero t.need.Vec.Epair.aggregate)
+
+let scale_cpu_need ~factor t =
+  let scale_dim0 v =
+    Vec.Vector.init (Vec.Vector.dim v) (fun i ->
+        if i = 0 then factor *. Vec.Vector.get v i else Vec.Vector.get v i)
+  in
+  let need =
+    Vec.Epair.v
+      ~elementary:(scale_dim0 t.need.Vec.Epair.elementary)
+      ~aggregate:(scale_dim0 t.need.Vec.Epair.aggregate)
+  in
+  { t with need }
+
+let equal a b =
+  a.id = b.id
+  && Vec.Epair.equal a.requirement b.requirement
+  && Vec.Epair.equal a.need b.need
+
+let pp ppf t =
+  Format.fprintf ppf "service#%d req %a need %a" t.id Vec.Epair.pp
+    t.requirement Vec.Epair.pp t.need

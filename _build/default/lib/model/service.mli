@@ -1,0 +1,44 @@
+(** Hosted services (virtual machine instances).
+
+    A service carries rigid {e requirements} [(rᵉ, rᵃ)] — the allocation
+    below which placement fails — and fluid {e needs} [(nᵉ, nᵃ)] — the
+    additional allocation that takes it from minimum acceptable service to
+    full performance on the reference machine. Running at yield [y] consumes
+    [(rᵉ + y·nᵉ, rᵃ + y·nᵃ)] (paper §2). *)
+
+type t = { id : int; requirement : Vec.Epair.t; need : Vec.Epair.t }
+
+val v : id:int -> requirement:Vec.Epair.t -> need:Vec.Epair.t -> t
+(** Raises [Invalid_argument] on dimension mismatches or negative
+    components. *)
+
+val make_2d :
+  id:int ->
+  ?cpu_req:float * float ->
+  ?mem_req:float ->
+  ?cpu_need:float * float ->
+  ?mem_need:float ->
+  unit ->
+  t
+(** Convenience for the paper's 2-D experiments. [cpu_req] and [cpu_need]
+    are [(elementary, aggregate)] CPU pairs; memory is poolable so a single
+    scalar sets both elementary and aggregate components. All default to
+    zero. Dimension 0 is CPU, dimension 1 is memory. *)
+
+val dim : t -> int
+
+val demand_at_yield : t -> float -> Vec.Epair.t
+(** [demand_at_yield s y] is [(rᵉ + y·nᵉ, rᵃ + y·nᵃ)]. *)
+
+val has_need : t -> bool
+(** True when any need component is non-zero. A service with no needs is
+    fully satisfied by its requirement and runs at yield 1 by convention. *)
+
+val scale_cpu_need : factor:float -> t -> t
+(** Multiply the CPU (dimension 0) need components by [factor]; used by the
+    workload generator's normalization and by the error-perturbation
+    machinery. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/packing/bin.ml: Array Epair Float Format Item Vec Vector

@@ -1,0 +1,1 @@
+lib/packing/bin.mli: Format Item Vec

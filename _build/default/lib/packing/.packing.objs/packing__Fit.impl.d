@@ -1,0 +1,1 @@
+lib/packing/fit.ml: Array Bin

@@ -1,0 +1,1 @@
+lib/packing/fit.mli: Bin Item

@@ -1,0 +1,1 @@
+lib/packing/item.ml: Format Vec

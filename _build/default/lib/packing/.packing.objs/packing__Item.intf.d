@@ -1,0 +1,1 @@
+lib/packing/item.mli: Format Vec

@@ -1,0 +1,1 @@
+lib/packing/naive_permutation_pack.ml: Array Bin Fun Hashtbl Item List Permutation_pack Vec

@@ -1,0 +1,1 @@
+lib/packing/naive_permutation_pack.mli: Bin Item Permutation_pack

@@ -1,0 +1,1 @@
+lib/packing/permutation_pack.ml: Array Bin Item Vec

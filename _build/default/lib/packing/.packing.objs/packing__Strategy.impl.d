@@ -1,0 +1,1 @@
+lib/packing/strategy.ml: Array Bin Fit Item List Permutation_pack Printf Vec

@@ -1,0 +1,1 @@
+lib/packing/strategy.mli: Bin Item Permutation_pack Vec

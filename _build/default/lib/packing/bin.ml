@@ -1,0 +1,50 @@
+type t = {
+  id : int;
+  capacity : Vec.Epair.t;
+  load : float array;
+  mutable contents : int list;
+}
+
+let v ~id ~capacity =
+  { id; capacity; load = Array.make (Vec.Epair.dim capacity) 0.; contents = [] }
+
+let dim t = Vec.Epair.dim t.capacity
+
+let fits t (item : Item.t) =
+  let open Vec in
+  Vector.fits item.demand.Epair.elementary t.capacity.Epair.elementary
+  &&
+  let d = Array.length t.load in
+  let rec loop i =
+    if i >= d then true
+    else
+      let cap = Vector.get t.capacity.Epair.aggregate i in
+      let tol = Vector.eps *. Float.max 1. cap in
+      t.load.(i) +. Vector.get item.demand.Epair.aggregate i <= cap +. tol
+      && loop (i + 1)
+  in
+  loop 0
+
+let place t (item : Item.t) =
+  let open Vec in
+  for i = 0 to Array.length t.load - 1 do
+    t.load.(i) <- t.load.(i) +. Vector.get item.demand.Epair.aggregate i
+  done;
+  t.contents <- item.id :: t.contents
+
+let load_vector t = Vec.Vector.of_array t.load
+
+let remaining t =
+  let open Vec in
+  Vector.init (Array.length t.load) (fun i ->
+      Float.max 0. (Vector.get t.capacity.Epair.aggregate i -. t.load.(i)))
+
+let load_sum t = Array.fold_left ( +. ) 0. t.load
+
+let remaining_sum t = Vec.Vector.sum (remaining t)
+
+let size t = t.capacity.Vec.Epair.aggregate
+
+let pp ppf t =
+  Format.fprintf ppf "bin#%d cap %a load %a" t.id Vec.Epair.pp t.capacity
+    Vec.Vector.pp (load_vector t)

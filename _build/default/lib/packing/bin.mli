@@ -1,0 +1,43 @@
+(** Mutable packing bins.
+
+    A bin is a node's capacity pair plus the aggregate load accumulated so
+    far. Bins are heterogeneous: each carries its own elementary and
+    aggregate capacities (paper §3.5.4). *)
+
+type t = private {
+  id : int;
+  capacity : Vec.Epair.t;
+  load : float array;  (** aggregate load per dimension, mutated by [place] *)
+  mutable contents : int list;  (** item ids, most recent first *)
+}
+
+val v : id:int -> capacity:Vec.Epair.t -> t
+(** Fresh empty bin. *)
+
+val dim : t -> int
+
+val fits : t -> Item.t -> bool
+(** Admission test: the item's elementary demand fits the bin's elementary
+    capacity and current load plus the item's aggregate demand fits the
+    aggregate capacity (library tolerance). *)
+
+val place : t -> Item.t -> unit
+(** Add the item. Does not re-check {!fits}. *)
+
+val load_vector : t -> Vec.Vector.t
+(** Current aggregate load (copy). *)
+
+val remaining : t -> Vec.Vector.t
+(** Aggregate capacity minus load, clamped at 0 (copy). *)
+
+val load_sum : t -> float
+(** Sum of loads across dimensions (Best-Fit's homogeneous criterion). *)
+
+val remaining_sum : t -> float
+(** Sum of remaining aggregate capacity (Best-Fit's heterogeneous
+    criterion). *)
+
+val size : t -> Vec.Vector.t
+(** The vector used by bin-sorting strategies: aggregate capacity. *)
+
+val pp : Format.formatter -> t -> unit

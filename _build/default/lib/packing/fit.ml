@@ -1,0 +1,55 @@
+type bin_rank = By_load | By_remaining
+
+(* Items must be processed strictly in order (the sort is the heuristic), so
+   both algorithms use an explicit indexed loop rather than iterators whose
+   traversal order is unspecified. *)
+
+let first_fit ~bins ~items =
+  let n_bins = Array.length bins in
+  let rec place_from j =
+    if j >= Array.length items then true
+    else begin
+      let item = items.(j) in
+      let rec scan b =
+        if b >= n_bins then false
+        else if Bin.fits bins.(b) item then begin
+          Bin.place bins.(b) item;
+          true
+        end
+        else scan (b + 1)
+      in
+      scan 0 && place_from (j + 1)
+    end
+  in
+  place_from 0
+
+let best_fit ~rank ~bins ~items =
+  (* Smaller score = more preferred bin. *)
+  let score bin =
+    match rank with
+    | By_load -> -.Bin.load_sum bin
+    | By_remaining -> Bin.remaining_sum bin
+  in
+  let rec place_from j =
+    if j >= Array.length items then true
+    else begin
+      let item = items.(j) in
+      let best = ref (-1) and best_score = ref infinity in
+      Array.iteri
+        (fun b bin ->
+          if Bin.fits bin item then begin
+            let s = score bin in
+            if s < !best_score then begin
+              best := b;
+              best_score := s
+            end
+          end)
+        bins;
+      if !best >= 0 then begin
+        Bin.place bins.(!best) item;
+        place_from (j + 1)
+      end
+      else false
+    end
+  in
+  place_from 0

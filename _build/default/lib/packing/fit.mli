@@ -1,0 +1,20 @@
+(** First-Fit and Best-Fit vector packing (paper §3.5.1).
+
+    Both walk the items in the caller-provided (already sorted) order.
+    First-Fit scans bins in the caller-provided static order and uses the
+    first bin that admits the item. Best-Fit re-ranks bins dynamically
+    before each item: the homogeneous flavour prefers the bin with the
+    largest sum of loads across dimensions; the heterogeneous flavour
+    (paper §3.5.4) prefers the bin with the smallest total remaining
+    capacity — the two coincide on identical bins and differ on
+    heterogeneous ones. *)
+
+type bin_rank = By_load | By_remaining
+(** Best-Fit ranking: [By_load] = descending sum of loads (homogeneous VP),
+    [By_remaining] = ascending sum of remaining capacity (HVP). *)
+
+val first_fit : bins:Bin.t array -> items:Item.t array -> bool
+(** Mutates [bins]; returns false as soon as an item fits nowhere (bins keep
+    the partial packing). *)
+
+val best_fit : rank:bin_rank -> bins:Bin.t array -> items:Item.t array -> bool

@@ -1,0 +1,15 @@
+(** Packing items.
+
+    An item is a service's resource demand at a fixed yield: the elementary
+    vector acts as an admission filter (it must fit a single resource
+    element of the bin, and does not accumulate), while the aggregate vector
+    is the quantity actually packed. *)
+
+type t = { id : int; demand : Vec.Epair.t }
+
+val v : id:int -> demand:Vec.Epair.t -> t
+
+val size : t -> Vec.Vector.t
+(** The vector used by item-sorting strategies: the aggregate demand. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+(** Permutation-Pack and Choose-Pack (Leinberger et al., paper §3.5.2).
+
+    These heuristics fill bins one at a time, repeatedly selecting the
+    remaining item that best "goes against" the bin's current capacity
+    imbalance: an ideal item has its largest demand in the bin's
+    least-loaded dimension, keeping the bin from filling up in one dimension
+    while capacity remains in others.
+
+    This module implements the paper's improved O(J²·D) selection: instead
+    of maintaining D! per-permutation item lists, each item's demand
+    permutation is mapped through the bin's dimension ranking into a
+    {e key}, and the fitting item with the lexicographically smallest key
+    wins. [Naive_permutation_pack] is the literal D!-list formulation, kept
+    as an executable specification for tests and the complexity ablation.
+
+    With window [w < D], only the first [w] key positions are compared.
+    Permutation-Pack compares them in order; Choose-Pack treats them as an
+    unordered set (it sorts the window before comparing). With [w = 1] the
+    two coincide. *)
+
+type flavour = Permutation | Choose
+
+type bin_ranking = By_load | By_remaining_capacity
+(** Dimension ranking of the current bin: ascending load (homogeneous VP)
+    or descending remaining capacity (HVP, §3.5.4). *)
+
+val item_key : bin_perm_pos:int array -> Item.t -> int array
+(** [item_key ~bin_perm_pos item] maps the item's descending-demand
+    dimension permutation through the bin's ranking positions; position
+    array [bin_perm_pos.(d)] is the rank of dimension [d] in the bin's
+    ordering. Exposed for tests. *)
+
+val compare_keys : flavour -> window:int -> int array -> int array -> int
+(** Lexicographic key comparison restricted to the window, set-wise for
+    Choose-Pack. Exposed for tests. *)
+
+val pack :
+  ?flavour:flavour ->
+  ?window:int ->
+  ?ranking:bin_ranking ->
+  bins:Bin.t array ->
+  items:Item.t array ->
+  unit ->
+  bool
+(** Pack items (already item-sorted: the order breaks key ties) into bins
+    (already bin-sorted: bins are filled in order). Defaults: [Permutation],
+    [window = D] (full keys), [By_load]. Returns false when items remain
+    after all bins are exhausted. *)

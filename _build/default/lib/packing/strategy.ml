@@ -1,0 +1,167 @@
+type algo =
+  | First_fit
+  | Best_fit
+  | Permutation_pack of { flavour : Permutation_pack.flavour;
+                          window : int option }
+
+type variant = Vp | Hvp
+
+type t = {
+  algo : algo;
+  item_order : Vec.Metric.order;
+  bin_order : Vec.Metric.order;
+  variant : variant;
+}
+
+let assignment ~bins ~n_items =
+  let assign = Array.make n_items (-1) in
+  Array.iter
+    (fun (bin : Bin.t) ->
+      List.iter (fun item_id -> assign.(item_id) <- bin.Bin.id) bin.contents)
+    bins;
+  assign
+
+let run t ~bins ~items =
+  let items = Vec.Metric.sort t.item_order Item.size items in
+  let bins =
+    match (t.variant, t.algo) with
+    | Vp, _ | _, Best_fit -> bins
+    | Hvp, (First_fit | Permutation_pack _) ->
+        Vec.Metric.sort t.bin_order Bin.size bins
+  in
+  let ok =
+    match t.algo with
+    | First_fit -> Fit.first_fit ~bins ~items
+    | Best_fit ->
+        let rank =
+          match t.variant with
+          | Vp -> Fit.By_load
+          | Hvp -> Fit.By_remaining
+        in
+        Fit.best_fit ~rank ~bins ~items
+    | Permutation_pack { flavour; window } ->
+        let ranking =
+          match t.variant with
+          | Vp -> Permutation_pack.By_load
+          | Hvp -> Permutation_pack.By_remaining_capacity
+        in
+        Permutation_pack.pack ~flavour ?window ~ranking ~bins ~items ()
+  in
+  if ok then Some (assignment ~bins ~n_items:(Array.length items)) else None
+
+let algos =
+  [
+    First_fit;
+    Best_fit;
+    Permutation_pack { flavour = Permutation_pack.Permutation; window = None };
+  ]
+
+let vp_all =
+  List.concat_map
+    (fun algo ->
+      List.map
+        (fun item_order ->
+          { algo; item_order; bin_order = Vec.Metric.Unsorted; variant = Vp })
+        Vec.Metric.all_orders)
+    algos
+
+let hvp_all =
+  let best_fit =
+    List.map
+      (fun item_order ->
+        { algo = Best_fit; item_order; bin_order = Vec.Metric.Unsorted;
+          variant = Hvp })
+      Vec.Metric.all_orders
+  in
+  let sorted_bins =
+    List.concat_map
+      (fun algo ->
+        List.concat_map
+          (fun item_order ->
+            List.map
+              (fun bin_order -> { algo; item_order; bin_order; variant = Hvp })
+              Vec.Metric.all_orders)
+          Vec.Metric.all_orders)
+      [
+        First_fit;
+        Permutation_pack
+          { flavour = Permutation_pack.Permutation; window = None };
+      ]
+  in
+  best_fit @ sorted_bins
+
+(* The pruned strategy subset identified in paper §5.1. *)
+let light_item_orders =
+  Vec.Metric.
+    [
+      Desc (Scalar Max);
+      Desc (Scalar Sum);
+      Desc (Scalar Max_difference);
+      Desc (Scalar Max_ratio);
+    ]
+
+let light_bin_orders =
+  Vec.Metric.
+    [
+      Asc Lex;
+      Asc (Scalar Max);
+      Asc (Scalar Sum);
+      Desc (Scalar Max);
+      Desc (Scalar Max_difference);
+      Desc (Scalar Max_ratio);
+      Unsorted;
+    ]
+
+let hvp_light =
+  let best_fit =
+    List.map
+      (fun item_order ->
+        { algo = Best_fit; item_order; bin_order = Vec.Metric.Unsorted;
+          variant = Hvp })
+      light_item_orders
+  in
+  let sorted_bins =
+    List.concat_map
+      (fun algo ->
+        List.concat_map
+          (fun item_order ->
+            List.map
+              (fun bin_order -> { algo; item_order; bin_order; variant = Hvp })
+              light_bin_orders)
+          light_item_orders)
+      [
+        First_fit;
+        Permutation_pack
+          { flavour = Permutation_pack.Permutation; window = None };
+      ]
+  in
+  best_fit @ sorted_bins
+
+let algo_name = function
+  | First_fit -> "FF"
+  | Best_fit -> "BF"
+  | Permutation_pack { flavour = Permutation_pack.Permutation; window = None }
+    ->
+      "PP"
+  | Permutation_pack { flavour = Permutation_pack.Permutation; window = Some w }
+    ->
+      Printf.sprintf "PP[w=%d]" w
+  | Permutation_pack { flavour = Permutation_pack.Choose; window = None } ->
+      "CP"
+  | Permutation_pack { flavour = Permutation_pack.Choose; window = Some w } ->
+      Printf.sprintf "CP[w=%d]" w
+
+let name t =
+  let prefix = match t.variant with Vp -> "VP" | Hvp -> "HVP" in
+  match t.algo with
+  | Best_fit ->
+      Printf.sprintf "%s-%s(%s items)" prefix (algo_name t.algo)
+        (Vec.Metric.order_to_string t.item_order)
+  | First_fit | Permutation_pack _ ->
+      if t.variant = Vp then
+        Printf.sprintf "%s-%s(%s items)" prefix (algo_name t.algo)
+          (Vec.Metric.order_to_string t.item_order)
+      else
+        Printf.sprintf "%s-%s(%s items, %s bins)" prefix (algo_name t.algo)
+          (Vec.Metric.order_to_string t.item_order)
+          (Vec.Metric.order_to_string t.bin_order)

@@ -1,0 +1,50 @@
+(** Strategy enumeration and runner.
+
+    A strategy is an algorithm (First-Fit, Best-Fit, Permutation-Pack /
+    Choose-Pack), an item-sorting order, a bin-sorting order and a variant
+    flag. The homogeneous variant ([Vp], paper §3.5.1–3.5.3) never sorts
+    bins and ranks Best-Fit bins by load; the heterogeneous variant ([Hvp],
+    §3.5.4) sorts bins by capacity for First-Fit / Permutation-Pack, and
+    ranks by remaining capacity for Best-Fit and for Permutation-Pack's
+    per-bin dimension ordering.
+
+    Counting as the paper does: METAVP tries the 33 VP strategies
+    (3 algorithms x 11 item orders); METAHVP the 253 HVP strategies
+    (11 Best-Fit + 2 x 11 x 11 for FF/PP); METAHVPLIGHT the pruned 60
+    (4 Best-Fit + 2 x 4 x 7). *)
+
+type algo =
+  | First_fit
+  | Best_fit
+  | Permutation_pack of { flavour : Permutation_pack.flavour;
+                          window : int option }
+
+type variant = Vp | Hvp
+
+type t = {
+  algo : algo;
+  item_order : Vec.Metric.order;
+  bin_order : Vec.Metric.order;  (** ignored by Best-Fit and by [Vp] *)
+  variant : variant;
+}
+
+val run : t -> bins:Bin.t array -> items:Item.t array -> int array option
+(** Execute one strategy on fresh copies of nothing — [bins] are mutated.
+    Items must carry dense ids [0 .. n-1]; on success the result maps item
+    id to bin id. Callers should pass freshly created bins. *)
+
+val assignment : bins:Bin.t array -> n_items:int -> int array
+(** Read the item-to-bin assignment out of packed bins (helper shared with
+    tests). *)
+
+val vp_all : t list
+(** The 33 homogeneous strategies of METAVP. *)
+
+val hvp_all : t list
+(** The 253 heterogeneous strategies of METAHVP. *)
+
+val hvp_light : t list
+(** The 60 heterogeneous strategies of METAHVPLIGHT (paper §5.1). *)
+
+val name : t -> string
+(** E.g. ["HVP-PP(DMAX items, ASUM bins)"]. *)

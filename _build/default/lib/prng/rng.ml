@@ -1,0 +1,110 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  (* A second mixing of the next raw output decorrelates the child stream
+     from the parent's subsequent draws. *)
+  let s = bits64 t in
+  { state = mix64 (Int64.logxor s 0xA02B5F8C39E11F4DL) }
+
+let uniform t =
+  (* 53 random bits into [0, 1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let float t bound =
+  if bound <= 0. then invalid_arg "Rng.float: bound must be positive";
+  uniform t *. bound
+
+let uniform_range t lo hi =
+  if hi < lo then invalid_arg "Rng.uniform_range: hi < lo";
+  lo +. (uniform t *. (hi -. lo))
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: n must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible for the
+     small ranges used (n << 2^63). *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (bits64 t) 1)
+                  (Int64.of_int n))
+
+let gaussian t =
+  let rec draw () =
+    let u = uniform t in
+    if u <= 1e-300 then draw () else u
+  in
+  let u1 = draw () and u2 = uniform t in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let normal t ~mean ~stddev = mean +. (stddev *. gaussian t)
+
+let truncated_normal t ~mean ~stddev ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.truncated_normal: hi < lo";
+  if stddev <= 0. then Float.max lo (Float.min hi mean)
+  else begin
+    (* Rejection sampling; falls back to clamping after a large number of
+       rejections (only reachable when [lo, hi] is far in the tail). *)
+    let rec loop attempts =
+      if attempts > 10_000 then Float.max lo (Float.min hi mean)
+      else
+        let x = normal t ~mean ~stddev in
+        if x >= lo && x <= hi then x else loop (attempts + 1)
+    in
+    loop 0
+  end
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  let rec draw () =
+    let u = uniform t in
+    if u <= 0. then draw () else u
+  in
+  -.log (draw ()) /. rate
+
+let lognormal t ~mu ~sigma = exp (normal t ~mean:mu ~stddev:sigma)
+
+let choose_weighted t weights =
+  let total =
+    Array.fold_left
+      (fun acc w ->
+        if w < 0. then invalid_arg "Rng.choose_weighted: negative weight";
+        acc +. w)
+      0. weights
+  in
+  if total <= 0. then invalid_arg "Rng.choose_weighted: all weights zero";
+  let target = float t total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  let i = scan 0 0. in
+  (* Floating-point roundoff can push [target] past the cumulative sum and
+     land on a zero-weight tail entry; back up to the nearest valid one. *)
+  let rec backup i = if weights.(i) > 0. then i else backup (i - 1) in
+  backup i
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

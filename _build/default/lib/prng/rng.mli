@@ -1,0 +1,56 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All stochastic components (workload generation, randomized rounding,
+    error perturbation) draw from this generator so that every experiment is
+    reproducible from a seed, independently of the OCaml stdlib [Random]
+    state. Splitmix64 is a tiny, well-tested mixer with 64-bit state and
+    full-period output; it is more than adequate for simulation workloads
+    (we need reproducibility and uniformity, not cryptographic strength). *)
+
+type t
+
+val create : seed:int -> t
+
+val copy : t -> t
+(** Independent clone with identical future output. *)
+
+val split : t -> t
+(** Derive a statistically independent generator (used to give each
+    instance of a sweep its own stream so that adding experiments does not
+    perturb existing ones). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). [bound] must be positive. *)
+
+val uniform : t -> float
+(** Uniform in [0, 1). *)
+
+val uniform_range : t -> float -> float -> float
+(** [uniform_range t lo hi] is uniform in [lo, hi). *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n). [n] must be positive. *)
+
+val gaussian : t -> float
+(** Standard normal via Box–Muller (one fresh sample per call). *)
+
+val normal : t -> mean:float -> stddev:float -> float
+
+val truncated_normal : t -> mean:float -> stddev:float -> lo:float -> hi:float -> float
+(** Rejection-sampled normal restricted to [lo, hi] (resamples until inside;
+    [stddev = 0.] returns the clamped mean). Used for the paper's node
+    capacity distribution: median 0.5, clipped to [0.001, 1.0]. *)
+
+val exponential : t -> rate:float -> float
+
+val lognormal : t -> mu:float -> sigma:float -> float
+
+val choose_weighted : t -> float array -> int
+(** Index drawn proportionally to the (non-negative) weights. Raises
+    [Invalid_argument] if all weights are zero or any is negative. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)

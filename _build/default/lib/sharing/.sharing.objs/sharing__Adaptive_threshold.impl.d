@@ -1,0 +1,1 @@
+lib/sharing/adaptive_threshold.ml: Array Float

@@ -1,0 +1,1 @@
+lib/sharing/policy.ml: Array Float Work_conserving

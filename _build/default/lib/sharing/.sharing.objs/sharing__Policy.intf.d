@@ -1,0 +1,1 @@
+lib/sharing/policy.mli:

@@ -1,0 +1,1 @@
+lib/sharing/runtime_eval.ml: Array Epair Float List Model Policy Vec Vector

@@ -1,0 +1,1 @@
+lib/sharing/runtime_eval.mli: Model Policy

@@ -1,0 +1,1 @@
+lib/sharing/theorem.ml: Array Float Work_conserving

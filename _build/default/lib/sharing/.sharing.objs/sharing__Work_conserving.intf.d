@@ -1,0 +1,1 @@
+lib/sharing/work_conserving.mli:

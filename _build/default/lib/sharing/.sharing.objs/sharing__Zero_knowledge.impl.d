@@ -1,0 +1,1 @@
+lib/sharing/zero_knowledge.ml: Array Epair Float Model Vec Vector

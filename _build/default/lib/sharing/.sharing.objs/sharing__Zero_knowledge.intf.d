@@ -1,0 +1,1 @@
+lib/sharing/zero_knowledge.mli: Model

@@ -1,0 +1,34 @@
+let bound j =
+  if j <= 0 then invalid_arg "Theorem.bound: J must be positive";
+  let j = float_of_int j in
+  ((2. *. j) -. 1.) /. (j *. j)
+
+let optimal_min_yield ~needs =
+  let total = Array.fold_left ( +. ) 0. needs in
+  if total <= 0. then 1. else Float.min 1. (1. /. total)
+
+let equal_weights_min_yield ~needs =
+  let j_count = Array.length needs in
+  if j_count = 0 then 1.
+  else begin
+    let alloc =
+      Work_conserving.allocate ~capacity:1.
+        ~weights:(Array.make j_count 1.)
+        ~needs
+    in
+    let worst = ref 1. in
+    Array.iteri
+      (fun j a ->
+        if needs.(j) > 0. then
+          worst := Float.min !worst (Float.min 1. (a /. needs.(j))))
+      alloc;
+    !worst
+  end
+
+let competitive_ratio ~needs =
+  let opt = optimal_min_yield ~needs in
+  if opt <= 0. then 1. else equal_weights_min_yield ~needs /. opt
+
+let worst_case_instance j =
+  if j <= 0 then invalid_arg "Theorem.worst_case_instance: J must be positive";
+  Array.init j (fun i -> if i = 0 then 1. else 1. /. float_of_int j)

@@ -1,0 +1,11 @@
+(** The zero-knowledge baseline (paper §6).
+
+    With no information about CPU needs, the best placement policy is to
+    spread services as evenly as possible across the nodes ("scheduling in
+    the dark") and let a work-conserving scheduler with equal weights divide
+    each node's CPU. Placement still honours rigid requirements (memory):
+    each service, in id order, goes to the feasible node currently hosting
+    the fewest services, ties broken toward the lowest node id. *)
+
+val place : Model.Instance.t -> Model.Placement.t option
+(** [None] when some service's requirements fit no node. *)

@@ -1,0 +1,1 @@
+lib/simulator/engine.ml: Array Event_queue Float Heuristics List Model Prng Sharing Vec Workload

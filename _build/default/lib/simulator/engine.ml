@@ -1,0 +1,278 @@
+type threshold_mode =
+  | Fixed of float
+  | Adaptive of Sharing.Adaptive_threshold.t
+
+type config = {
+  horizon : float;
+  arrival_rate : float;
+  mean_lifetime : float;
+  reallocation_period : float;
+  max_error : float;
+  threshold : threshold_mode;
+  policy : Sharing.Policy.t;
+  algorithm : Heuristics.Algorithms.t;
+  per_core_need : float;
+  memory_scale : float;
+}
+
+let default_config =
+  {
+    horizon = 100.;
+    arrival_rate = 1.;
+    mean_lifetime = 20.;
+    reallocation_period = 5.;
+    max_error = 0.;
+    threshold = Fixed 0.;
+    policy = Sharing.Policy.Alloc_weights;
+    algorithm = Heuristics.Algorithms.metahvplight;
+    per_core_need = 0.1;
+    memory_scale = 0.4;
+  }
+
+type stats = {
+  arrivals : int;
+  admitted : int;
+  rejected : int;
+  departures : int;
+  reallocations : int;
+  failed_reallocations : int;
+  migrations : int;
+  mean_min_yield : float;
+  yield_samples : (float * float) list;
+  final_threshold : float;
+}
+
+(* A live service: true and estimated CPU needs plus the rigid memory
+   requirement; [node] is its current host. *)
+type live = {
+  uid : int;
+  cores : int;
+  true_cpu : float;  (* aggregate true need *)
+  est_cpu : float;   (* aggregate estimated need (before thresholding) *)
+  memory : float;
+  mutable node : int;
+}
+
+type event = Arrival | Departure of int (* uid *) | Reallocate
+
+let validate config =
+  if config.horizon <= 0. then invalid_arg "Engine.run: horizon";
+  if config.arrival_rate <= 0. then invalid_arg "Engine.run: arrival_rate";
+  if config.mean_lifetime <= 0. then invalid_arg "Engine.run: mean_lifetime";
+  if config.reallocation_period <= 0. then
+    invalid_arg "Engine.run: reallocation_period";
+  if config.max_error < 0. then invalid_arg "Engine.run: max_error";
+  if config.per_core_need <= 0. then invalid_arg "Engine.run: per_core_need";
+  if config.memory_scale <= 0. then invalid_arg "Engine.run: memory_scale"
+
+(* Dense-id service arrays for the model layer, in [actives] order. The
+   estimated variant applies the current minimum threshold. *)
+let service_of_live ~estimated ~threshold id (l : live) =
+  let cpu =
+    if estimated then Float.max l.est_cpu threshold else l.true_cpu
+  in
+  Model.Service.make_2d ~id ~mem_req:l.memory
+    ~cpu_need:(cpu /. float_of_int l.cores, cpu)
+    ()
+
+let build_instances ~platform ~threshold actives =
+  let actives = Array.of_list actives in
+  let true_services =
+    Array.mapi (service_of_live ~estimated:false ~threshold:0.) actives
+  in
+  let est_services =
+    Array.mapi (service_of_live ~estimated:true ~threshold) actives
+  in
+  let placement = Array.map (fun l -> l.node) actives in
+  ( actives,
+    Model.Instance.v ~nodes:platform ~services:true_services,
+    Model.Instance.v ~nodes:platform ~services:est_services,
+    placement )
+
+let run ?rng config ~platform =
+  validate config;
+  let rng = match rng with Some r -> r | None -> Prng.Rng.create ~seed:0 in
+  let queue = Event_queue.create () in
+  let actives : live list ref = ref [] in
+  let next_uid = ref 0 in
+  let arrivals = ref 0 and admitted = ref 0 and rejected = ref 0 in
+  let departures = ref 0 in
+  let reallocations = ref 0 and failed_reallocations = ref 0 in
+  let migrations = ref 0 in
+  let yield_samples = ref [] in
+  let yield_integral = ref 0. in
+  let last_time = ref 0. in
+  let current_yield = ref 1. in
+  let current_threshold () =
+    match config.threshold with
+    | Fixed t -> t
+    | Adaptive c -> Sharing.Adaptive_threshold.threshold c
+  in
+  (* Piecewise-constant integration of the minimum yield. *)
+  let advance_to time =
+    yield_integral := !yield_integral +. (!current_yield *. (time -. !last_time));
+    last_time := time
+  in
+  let record time =
+    let y =
+      match !actives with
+      | [] -> 1.
+      | actives_list -> (
+          let _, true_inst, est_inst, placement =
+            build_instances ~platform ~threshold:(current_threshold ())
+              actives_list
+          in
+          match
+            Sharing.Runtime_eval.actual_min_yield config.policy
+              ~true_instance:true_inst ~estimated:est_inst placement
+          with
+          | Some y -> y
+          | None -> 0.)
+    in
+    current_yield := y;
+    yield_samples := (time, y) :: !yield_samples
+  in
+  (* Memory-requirement admission: the feasible node with the fewest
+     services (the zero-knowledge spread — arrivals carry no trusted CPU
+     estimate yet, only the rigid requirement matters for admission). *)
+  let admit (l : live) =
+    let h_count = Array.length platform in
+    let mem_load = Array.make h_count 0. in
+    let count = Array.make h_count 0 in
+    List.iter
+      (fun (a : live) ->
+        mem_load.(a.node) <- mem_load.(a.node) +. a.memory;
+        count.(a.node) <- count.(a.node) + 1)
+      !actives;
+    let best = ref (-1) in
+    for h = 0 to h_count - 1 do
+      let cap =
+        Vec.Vector.get platform.(h).Model.Node.capacity.Vec.Epair.aggregate 1
+      in
+      if
+        mem_load.(h) +. l.memory <= cap +. 1e-9
+        && (!best < 0 || count.(h) < count.(!best))
+      then best := h
+    done;
+    if !best >= 0 then begin
+      l.node <- !best;
+      true
+    end
+    else false
+  in
+  let reallocate () =
+    incr reallocations;
+    match !actives with
+    | [] -> ()
+    | actives_list -> (
+        let lives, true_inst, est_inst, old_placement =
+          build_instances ~platform ~threshold:(current_threshold ())
+            actives_list
+        in
+        match config.algorithm.solve est_inst with
+        | None -> incr failed_reallocations
+        | Some sol ->
+            Array.iteri
+              (fun i (l : live) ->
+                if sol.placement.(i) <> old_placement.(i) then
+                  incr migrations;
+                l.node <- sol.placement.(i))
+              lives;
+            (* Close the adaptive feedback loop with what the run-time
+               scheduler actually hands out under the new placement. *)
+            match config.threshold with
+            | Fixed _ -> ()
+            | Adaptive controller -> (
+                match
+                  Sharing.Runtime_eval.consumptions config.policy
+                    ~true_instance:true_inst ~estimated:est_inst sol.placement
+                with
+                | None -> ()
+                | Some actual ->
+                    let estimated =
+                      Array.map (fun (l : live) -> l.est_cpu) lives
+                    in
+                    Sharing.Adaptive_threshold.observe controller ~estimated
+                      ~actual))
+  in
+  (* Seed the event queue. *)
+  let schedule_arrival time =
+    let gap = Prng.Rng.exponential rng ~rate:config.arrival_rate in
+    let t = time +. gap in
+    if t <= config.horizon then Event_queue.add queue ~time:t Arrival
+  in
+  schedule_arrival 0.;
+  let rec schedule_reallocations t =
+    if t <= config.horizon then begin
+      Event_queue.add queue ~time:t Reallocate;
+      schedule_reallocations (t +. config.reallocation_period)
+    end
+  in
+  schedule_reallocations config.reallocation_period;
+  record 0.;
+  (* Main loop. *)
+  let rec loop () =
+    match Event_queue.pop_min queue with
+    | None -> ()
+    | Some (time, event) ->
+        advance_to time;
+        (match event with
+        | Arrival ->
+            incr arrivals;
+            schedule_arrival time;
+            let task = Workload.Google_trace.sample rng in
+            let true_cpu =
+              config.per_core_need *. float_of_int task.Workload.Google_trace.cores
+            in
+            let est_cpu =
+              if config.max_error = 0. then true_cpu
+              else
+                Float.max 0.001
+                  (true_cpu
+                  +. Prng.Rng.uniform_range rng (-.config.max_error)
+                       config.max_error)
+            in
+            let l =
+              {
+                uid = !next_uid;
+                cores = task.cores;
+                true_cpu;
+                est_cpu;
+                memory = config.memory_scale *. task.memory_fraction;
+                node = -1;
+              }
+            in
+            incr next_uid;
+            if admit l then begin
+              incr admitted;
+              actives := !actives @ [ l ];
+              let lifetime =
+                Prng.Rng.exponential rng ~rate:(1. /. config.mean_lifetime)
+              in
+              if time +. lifetime <= config.horizon then
+                Event_queue.add queue ~time:(time +. lifetime)
+                  (Departure l.uid)
+              (* Services outliving the horizon simply never depart. *)
+            end
+            else incr rejected
+        | Departure uid ->
+            incr departures;
+            actives := List.filter (fun (l : live) -> l.uid <> uid) !actives
+        | Reallocate -> reallocate ());
+        record time;
+        loop ()
+  in
+  loop ();
+  advance_to config.horizon;
+  {
+    arrivals = !arrivals;
+    admitted = !admitted;
+    rejected = !rejected;
+    departures = !departures;
+    reallocations = !reallocations;
+    failed_reallocations = !failed_reallocations;
+    migrations = !migrations;
+    mean_min_yield = !yield_integral /. config.horizon;
+    yield_samples = List.rev !yield_samples;
+    final_threshold = current_threshold ();
+  }

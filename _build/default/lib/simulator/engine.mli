@@ -1,0 +1,60 @@
+(** Online service-hosting simulation (extension; paper §8).
+
+    The paper studies the off-line problem: a fixed set of services placed
+    once. Its conclusion describes deploying METAHVPLIGHT plus the
+    error-mitigation strategy inside a resource manager — which is an
+    {e online} system: services arrive (Poisson), run for a while
+    (exponential lifetime), and depart; the manager re-runs the placement
+    algorithm periodically, migrating services when beneficial, while the
+    run-time scheduler divides CPU according to a {!Sharing.Policy} using
+    (possibly erroneous) need estimates.
+
+    This engine is a classic discrete-event simulation over that loop. At
+    every event (arrival, departure, reallocation) the actual minimum yield
+    is re-evaluated against the services' true needs, giving an exact
+    piecewise-constant integral of the objective over time. An optional
+    {!Sharing.Adaptive_threshold} controller closes the feedback loop the
+    paper's future work asks for. *)
+
+type threshold_mode =
+  | Fixed of float  (** the paper's §6.2 static threshold *)
+  | Adaptive of Sharing.Adaptive_threshold.t
+      (** feedback controller updated after every reallocation *)
+
+type config = {
+  horizon : float;  (** simulated time to run for *)
+  arrival_rate : float;  (** Poisson arrival intensity (services per time) *)
+  mean_lifetime : float;  (** exponential service lifetime *)
+  reallocation_period : float;  (** period of the placement loop *)
+  max_error : float;  (** CPU-need estimation error for arriving services *)
+  threshold : threshold_mode;
+  policy : Sharing.Policy.t;  (** run-time CPU sharing policy *)
+  algorithm : Heuristics.Algorithms.t;  (** placement algorithm *)
+  per_core_need : float;  (** true per-core CPU need of arriving services *)
+  memory_scale : float;  (** memory requirement = scale * trace fraction *)
+}
+
+val default_config : config
+(** METAHVPLIGHT, ALLOCWEIGHTS, fixed threshold 0, horizon 100, one arrival
+    per time unit, mean lifetime 20, reallocation every 5, no error,
+    per-core need 0.1, memory scale 0.4. *)
+
+type stats = {
+  arrivals : int;
+  admitted : int;
+  rejected : int;  (** arrivals whose requirements fit no node *)
+  departures : int;
+  reallocations : int;
+  failed_reallocations : int;
+      (** periods where the algorithm found no placement and the previous
+          placement was kept *)
+  migrations : int;  (** placement changes across reallocations *)
+  mean_min_yield : float;  (** time-average of the actual minimum yield *)
+  yield_samples : (float * float) list;
+      (** (time, actual min yield) at every event, chronological *)
+  final_threshold : float;
+}
+
+val run : ?rng:Prng.Rng.t -> config -> platform:Model.Node.t array -> stats
+(** Simulate. Deterministic given the rng (default seed 0). Raises
+    [Invalid_argument] on non-positive horizon, rates, or periods. *)

@@ -1,0 +1,18 @@
+(** Tiny binary-heap priority queue keyed by event time.
+
+    The discrete-event engine only needs [add] and [pop_min]; ties are
+    broken by insertion order so simultaneous events fire
+    deterministically. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:float -> 'a -> unit
+
+val pop_min : 'a t -> (float * 'a) option
+(** Earliest event, or [None] when empty. *)
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,55 @@
+type comparison = {
+  yield_diff_pct : float option;
+  success_diff_pct : float;
+  both_succeed : int;
+  only_a : int;
+  only_b : int;
+  neither : int;
+}
+
+let compare ~a ~b =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Pairwise.compare: empty";
+  if Array.length b <> n then invalid_arg "Pairwise.compare: length mismatch";
+  let both = ref 0 and only_a = ref 0 and only_b = ref 0 and neither = ref 0 in
+  let diff_sum = ref 0. and diff_count = ref 0 in
+  for i = 0 to n - 1 do
+    match (a.(i), b.(i)) with
+    | Some ya, Some yb ->
+        incr both;
+        (* Relative difference is undefined against a ~zero baseline; such
+           instances are skipped for Y (they still count for S). *)
+        if Float.abs yb > 1e-9 then begin
+          diff_sum := !diff_sum +. ((ya -. yb) /. yb *. 100.);
+          incr diff_count
+        end
+    | Some _, None -> incr only_a
+    | None, Some _ -> incr only_b
+    | None, None -> incr neither
+  done;
+  let pct k = 100. *. float_of_int k /. float_of_int n in
+  {
+    yield_diff_pct =
+      (if !diff_count = 0 then None
+       else Some (!diff_sum /. float_of_int !diff_count));
+    success_diff_pct = pct !only_a -. pct !only_b;
+    both_succeed = !both;
+    only_a = !only_a;
+    only_b = !only_b;
+    neither = !neither;
+  }
+
+let matrix ~names ~results =
+  let n = Array.length names in
+  if Array.length results <> n then
+    invalid_arg "Pairwise.matrix: names/results mismatch";
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto 0 do
+      if i <> j then
+        out :=
+          (names.(i), names.(j), compare ~a:results.(i) ~b:results.(j))
+          :: !out
+    done
+  done;
+  !out

@@ -1,0 +1,33 @@
+(** The paper's pairwise comparison metrics (§5).
+
+    For algorithms A and B evaluated on the same instance set, with
+    per-instance results [None] (failure) or [Some yield]:
+
+    - [Y_{A,B}]: average percent minimum-yield difference of A relative to
+      B, over instances where both succeed;
+    - [S_{A,B}]: percentage of instances where A succeeds and B fails,
+      minus the percentage where B succeeds and A fails.
+
+    Positive values favour A. *)
+
+type comparison = {
+  yield_diff_pct : float option;
+      (** [Y_{A,B}] in percent; [None] when no instance is solved by both
+          (or every common success has yield ~0 for B, which would make the
+          relative difference meaningless). *)
+  success_diff_pct : float;  (** [S_{A,B}] in percent *)
+  both_succeed : int;
+  only_a : int;
+  only_b : int;
+  neither : int;
+}
+
+val compare : a:float option array -> b:float option array -> comparison
+(** Raises [Invalid_argument] on length mismatch or empty input. *)
+
+val matrix :
+  names:string array ->
+  results:float option array array ->
+  (string * string * comparison) list
+(** All ordered pairs (A ≠ B), row-major — the layout of Table 1. [results]
+    is indexed `[algorithm].[instance]`. *)

@@ -1,0 +1,16 @@
+(** (x, y) data series with per-x aggregation — the data behind the paper's
+    figures. *)
+
+type point = { x : float; mean : float; count : int }
+
+val aggregate : (float * float) list -> point list
+(** Group samples by x (exact match) and average; points sorted by x. *)
+
+val to_csv : header:string * string -> point list -> string
+(** Two-column CSV ["x,<name>"] of the aggregated means. *)
+
+val render :
+  ?width:int -> ?height:int -> label:string -> (float * float) list -> string
+(** Crude ASCII dot-plot of raw samples (x on the horizontal axis), good
+    enough to eyeball a trend in a terminal; experiment drivers emit CSV
+    alongside for real plotting. *)

@@ -1,0 +1,34 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: width mismatch";
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let widths =
+    List.fold_left
+      (fun widths row ->
+        List.map2 (fun w cell -> max w (String.length cell)) widths row)
+      (List.map (fun _ -> 0) t.headers)
+      all
+  in
+  let pad w s = s ^ String.make (w - String.length s) ' ' in
+  let rstrip s =
+    let len = String.length s in
+    let rec last i = if i > 0 && s.[i - 1] = ' ' then last (i - 1) else i in
+    String.sub s 0 (last len)
+  in
+  let line row = rstrip (String.concat "  " (List.map2 pad widths row)) in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line t.headers :: sep :: List.map line rows)
+
+let print t =
+  print_string (render t);
+  print_newline ()

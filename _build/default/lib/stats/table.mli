@@ -1,0 +1,14 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] when the row width differs from the
+    headers. *)
+
+val render : t -> string
+(** Monospace table with a header separator; columns padded to content. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

@@ -1,0 +1,1 @@
+lib/vec/epair.mli: Format Vector

@@ -1,0 +1,1 @@
+lib/vec/metric.ml: Array Float List Vector

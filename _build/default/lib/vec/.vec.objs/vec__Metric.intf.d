@@ -1,0 +1,1 @@
+lib/vec/metric.mli: Vector

@@ -1,0 +1,1 @@
+lib/vec/vector.ml: Array Float Format Fun

@@ -1,0 +1,1 @@
+lib/vec/vector.mli: Format

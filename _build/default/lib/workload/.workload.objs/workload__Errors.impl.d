@@ -1,0 +1,1 @@
+lib/workload/errors.ml: Array Epair Float Model Prng Vec Vector

@@ -1,0 +1,1 @@
+lib/workload/errors.mli: Model Prng

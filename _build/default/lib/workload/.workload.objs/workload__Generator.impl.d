@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Google_trace Model Prng Vec

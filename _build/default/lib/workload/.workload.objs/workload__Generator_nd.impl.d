@@ -1,0 +1,1 @@
+lib/workload/generator_nd.ml: Array Model Printf Prng Vec

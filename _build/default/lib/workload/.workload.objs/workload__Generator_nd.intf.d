@@ -1,0 +1,1 @@
+lib/workload/generator_nd.mli: Model Prng

@@ -1,0 +1,1 @@
+lib/workload/google_trace.mli: Prng

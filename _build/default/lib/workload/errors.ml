@@ -1,0 +1,47 @@
+let min_need = 0.001
+
+(* Rebuild a service with its aggregate CPU need set to [agg], elementary
+   rescaled to preserve the elementary/aggregate proportion. *)
+let with_cpu_need (s : Model.Service.t) agg =
+  let open Vec in
+  let old_agg = Vector.get s.need.Epair.aggregate 0 in
+  let old_elem = Vector.get s.need.Epair.elementary 0 in
+  let elem = if old_agg > 0. then old_elem *. (agg /. old_agg) else agg in
+  let set v d x =
+    Vector.init (Vector.dim v) (fun i -> if i = d then x else Vector.get v i)
+  in
+  let need =
+    Epair.v
+      ~elementary:(set s.need.Epair.elementary 0 elem)
+      ~aggregate:(set s.need.Epair.aggregate 0 agg)
+  in
+  Model.Service.v ~id:s.id ~requirement:s.requirement ~need
+
+let perturb ~rng ~max_error instance =
+  if max_error < 0. then invalid_arg "Errors.perturb: negative max_error";
+  Model.Instance.map_services
+    (fun s ->
+      let open Vec in
+      let agg = Vector.get s.Model.Service.need.Epair.aggregate 0 in
+      let error =
+        if max_error = 0. then 0.
+        else Prng.Rng.uniform_range rng (-.max_error) max_error
+      in
+      with_cpu_need s (Float.max min_need (agg +. error)))
+    instance
+
+let apply_threshold ~threshold instance =
+  if threshold < 0. then invalid_arg "Errors.apply_threshold: negative";
+  if threshold = 0. then instance
+  else
+    Model.Instance.map_services
+      (fun s ->
+        let open Vec in
+        let agg = Vector.get s.Model.Service.need.Epair.aggregate 0 in
+        if agg < threshold then with_cpu_need s threshold else s)
+      instance
+
+let true_cpu_needs instance =
+  Array.init (Model.Instance.n_services instance) (fun j ->
+      let s = Model.Instance.service instance j in
+      Vec.Vector.get s.Model.Service.need.Vec.Epair.aggregate 0)

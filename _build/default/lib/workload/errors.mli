@@ -1,0 +1,22 @@
+(** CPU-need estimation errors (paper §6.2).
+
+    The scheduler sees {e estimated} CPU needs; the platform delivers
+    according to the {e true} needs. [perturb] builds the estimated instance
+    from the true one: each aggregate CPU need receives an additive error
+    drawn uniformly from [[-max_error, +max_error]], clamped below at 0.001
+    (the paper's floor), with the elementary CPU need rescaled to keep its
+    proportion to the aggregate. [apply_threshold] is the mitigation
+    heuristic of §6.2: estimates are rounded up to a minimum threshold,
+    holding some CPU in reserve for underestimated small services. *)
+
+val perturb :
+  rng:Prng.Rng.t -> max_error:float -> Model.Instance.t -> Model.Instance.t
+(** The estimated instance. [max_error = 0.] returns an identical copy. *)
+
+val apply_threshold : threshold:float -> Model.Instance.t -> Model.Instance.t
+(** Round every aggregate CPU need below [threshold] up to it (elementary
+    rescaled proportionally); [threshold = 0.] is the identity. *)
+
+val true_cpu_needs : Model.Instance.t -> float array
+(** Aggregate CPU need per service (dimension 0) — the ground truth handed
+    to the {!Sharing} simulator. *)

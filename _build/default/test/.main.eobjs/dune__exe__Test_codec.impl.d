@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Filename Fun List Model Printf Prng QCheck2 QCheck_alcotest String Sys Workload

@@ -1,0 +1,1 @@
+test/test_epair.ml: Alcotest Array Epair Fun List Metric Vec Vector

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Experiments Heuristics List Model Printf Sharing String

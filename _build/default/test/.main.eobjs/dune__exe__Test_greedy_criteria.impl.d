@@ -1,0 +1,1 @@
+test/test_greedy_criteria.ml: Alcotest Array Experiments Heuristics List Model Packing Prng String Vec

@@ -1,0 +1,1 @@
+test/test_heuristics.ml: Alcotest Array Heuristics List Lp Model Packing Printf Prng QCheck2 QCheck_alcotest Vec Workload

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float List Lp Prng QCheck2 QCheck_alcotest

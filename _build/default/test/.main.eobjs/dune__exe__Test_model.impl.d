@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Epair Float List Model Printf Prng QCheck2 QCheck_alcotest String Vec Vector

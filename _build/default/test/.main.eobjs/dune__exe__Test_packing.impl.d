@@ -1,0 +1,1 @@
+test/test_packing.ml: Alcotest Array Bin Fit Item List Naive_permutation_pack Packing Permutation_pack QCheck2 QCheck_alcotest Strategy Vec

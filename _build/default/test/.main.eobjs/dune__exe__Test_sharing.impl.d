@@ -1,0 +1,1 @@
+test/test_sharing.ml: Alcotest Array Float List Model Printf QCheck2 QCheck_alcotest Sharing

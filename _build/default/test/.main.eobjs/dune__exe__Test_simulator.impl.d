@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Array Float List Model Printf Prng QCheck2 QCheck_alcotest Sharing Simulator

@@ -1,0 +1,1 @@
+test/test_vector.ml: Alcotest Array Float List QCheck2 QCheck_alcotest Vec Vector

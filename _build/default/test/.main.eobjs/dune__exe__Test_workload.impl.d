@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Epair Float Fun Heuristics List Model Printf Prng QCheck2 QCheck_alcotest Vec Vector Workload

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "vmalloc"
+    [
+      ("vector", Test_vector.suite);
+      ("epair+metric", Test_epair.suite);
+      ("lp", Test_lp.suite);
+      ("model", Test_model.suite);
+      ("codec", Test_codec.suite);
+      ("packing", Test_packing.suite);
+      ("heuristics", Test_heuristics.suite);
+      ("greedy-criteria", Test_greedy_criteria.suite);
+      ("workload", Test_workload.suite);
+      ("sharing", Test_sharing.suite);
+      ("stats", Test_stats.suite);
+      ("experiments", Test_experiments.suite);
+      ("simulator", Test_simulator.suite);
+      ("core-facade", Test_core.suite);
+    ]

@@ -1,0 +1,59 @@
+(* Smoke tests for the Core facade: the re-exports resolve and the Quick
+   API works end to end. *)
+
+let test_facade_reexports () =
+  (* Types from the facade unify with the underlying libraries. *)
+  let v : Core.Vector.t = Core.Vector.of_list [ 1.; 2. ] in
+  Alcotest.(check int) "vector dim" 2 (Vec.Vector.dim v);
+  let node = Core.Node.make_cores ~id:0 ~cores:4 ~cpu:1.0 ~mem:1.0 in
+  Alcotest.(check int) "node dim" 2 (Model.Node.dim node)
+
+let quick_instance =
+  Core.Instance.v
+    ~nodes:
+      [|
+        Core.Node.make_cores ~id:0 ~cores:4 ~cpu:3.2 ~mem:1.0;
+        Core.Node.make_cores ~id:1 ~cores:2 ~cpu:2.0 ~mem:0.5;
+      |]
+    ~services:
+      [|
+        Core.Service.make_2d ~id:0 ~cpu_req:(0.5, 1.0) ~mem_req:0.5
+          ~cpu_need:(0.5, 1.0) ();
+      |]
+
+let test_quick_solve () =
+  match Core.Quick.solve quick_instance with
+  | Some alloc ->
+      Alcotest.(check int) "node B" 1 alloc.Core.Placement.placement.(0);
+      Alcotest.(check (float 1e-9)) "yield" 1.0 alloc.yields.(0)
+  | None -> Alcotest.fail "should solve"
+
+let test_quick_min_yield () =
+  match Core.Quick.min_yield quick_instance with
+  | Some y -> Alcotest.(check (float 1e-9)) "min yield" 1.0 y
+  | None -> Alcotest.fail "should solve"
+
+let test_quick_custom_algorithm () =
+  match
+    Core.Quick.min_yield ~algorithm:Core.Algorithms.metagreedy quick_instance
+  with
+  | Some y -> Alcotest.(check bool) "in range" true (y >= 0. && y <= 1.)
+  | None -> Alcotest.fail "should solve"
+
+let test_quick_infeasible () =
+  let inst =
+    Core.Instance.v
+      ~nodes:[| Core.Node.make_cores ~id:0 ~cores:4 ~cpu:1.0 ~mem:0.1 |]
+      ~services:[| Core.Service.make_2d ~id:0 ~mem_req:0.5 () |]
+  in
+  Alcotest.(check bool) "infeasible" true (Core.Quick.solve inst = None)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("facade re-exports", test_facade_reexports);
+      ("Quick.solve", test_quick_solve);
+      ("Quick.min_yield", test_quick_min_yield);
+      ("Quick custom algorithm", test_quick_custom_algorithm);
+      ("Quick infeasible", test_quick_infeasible);
+    ]

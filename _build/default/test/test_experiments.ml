@@ -1,0 +1,261 @@
+(* Integration tests for the experiment harness, at tiny scales so the
+   whole suite stays fast. *)
+
+let tiny_scale =
+  {
+    Experiments.Scale.label = "tiny";
+    table1_hosts = 4;
+    table1_services = [ 6 ];
+    table1_covs = [ 0.5 ];
+    table1_slacks = [ 0.5 ];
+    table1_reps = 2;
+    fig_cov_hosts = 4;
+    fig_cov_services = 8;
+    fig_cov_slack = 0.4;
+    fig_cov_covs = [ 0.0; 1.0 ];
+    fig_cov_reps = 1;
+    fig_cov_include_rrnz = false;
+    error_hosts = 4;
+    error_services = [ 8; 8; 8 ];
+    error_slack = 0.4;
+    error_cov = 0.5;
+    error_max_errors = [ 0.0; 0.2 ];
+    error_thresholds = [ 0.0; 0.1 ];
+    error_reps = 1;
+    light_hosts = 4;
+    light_services = 12;
+    light_reps = 1;
+  }
+
+let test_corpus_deterministic () =
+  let spec =
+    {
+      Experiments.Corpus.hosts = 4;
+      services = 6;
+      cov = 0.5;
+      slack = 0.4;
+      cpu_homogeneous = false;
+      mem_homogeneous = false;
+      rep = 0;
+    }
+  in
+  let a = Experiments.Corpus.instance spec in
+  let b = Experiments.Corpus.instance spec in
+  for j = 0 to Model.Instance.n_services a - 1 do
+    Alcotest.(check bool) "same" true
+      (Model.Service.equal (Model.Instance.service a j)
+         (Model.Instance.service b j))
+  done
+
+let test_corpus_rep_variation () =
+  let spec rep =
+    {
+      Experiments.Corpus.hosts = 4;
+      services = 6;
+      cov = 0.5;
+      slack = 0.4;
+      cpu_homogeneous = false;
+      mem_homogeneous = false;
+      rep;
+    }
+  in
+  let a = Experiments.Corpus.instance (spec 0) in
+  let b = Experiments.Corpus.instance (spec 1) in
+  let differs = ref false in
+  for j = 0 to Model.Instance.n_services a - 1 do
+    if
+      not
+        (Model.Service.equal (Model.Instance.service a j)
+           (Model.Instance.service b j))
+    then differs := true
+  done;
+  Alcotest.(check bool) "reps differ" true !differs
+
+let test_sweep_size () =
+  let instances =
+    Experiments.Corpus.sweep ~hosts:3 ~services:4 ~covs:[ 0.; 0.5 ]
+      ~slacks:[ 0.3; 0.6 ] ~reps:2 ()
+  in
+  Alcotest.(check int) "2 x 2 x 2" 8 (List.length instances)
+
+let test_table1_runs () =
+  let scenarios = Experiments.Table1.run tiny_scale in
+  Alcotest.(check int) "one scenario" 1 (List.length scenarios);
+  let s = List.hd scenarios in
+  Alcotest.(check int) "5 algorithms" 5 (Array.length s.names);
+  Alcotest.(check int) "instances" 2 s.n_instances;
+  (* Reports render. *)
+  Alcotest.(check bool) "table1 report non-empty" true
+    (String.length (Experiments.Table1.report_table1 scenarios) > 0);
+  Alcotest.(check bool) "table2 report non-empty" true
+    (String.length (Experiments.Table1.report_table2 scenarios) > 0)
+
+let test_fig_cov_runs () =
+  let r =
+    Experiments.Fig_cov.run tiny_scale Experiments.Fig_cov.Fully_heterogeneous
+  in
+  Alcotest.(check int) "2 contenders (no rrnz)" 2 (List.length r.series);
+  Alcotest.(check bool) "report renders" true
+    (String.length (Experiments.Fig_cov.report r) > 0)
+
+let test_fig_cov_homogeneous_variant () =
+  let r =
+    Experiments.Fig_cov.run tiny_scale Experiments.Fig_cov.Cpu_homogeneous
+  in
+  Alcotest.(check string) "variant label" "CPU held homogeneous"
+    (Experiments.Fig_cov.variant_name r.variant)
+
+let test_fig_error_runs () =
+  let r = Experiments.Fig_error.run tiny_scale ~services:8 in
+  (* ideal, zero-knowledge, caps, weight x2 thresholds, equal x2. *)
+  Alcotest.(check bool) "has ideal series" true
+    (List.exists
+       (fun (s : Experiments.Fig_error.series) -> s.name = "ideal")
+       r.series);
+  Alcotest.(check bool) "has zero-knowledge series" true
+    (List.exists
+       (fun (s : Experiments.Fig_error.series) -> s.name = "zero-knowledge")
+       r.series);
+  Alcotest.(check bool) "report renders" true
+    (String.length (Experiments.Fig_error.report r) > 0)
+
+let test_error_eval_perfect_estimates () =
+  (* With exact estimates and ALLOCWEIGHTS, the achieved min yield is at
+     least the planned one (work conservation can only help). *)
+  let inst =
+    Experiments.Corpus.instance
+      {
+        Experiments.Corpus.hosts = 4;
+        services = 10;
+        cov = 0.5;
+        slack = 0.5;
+        cpu_homogeneous = false;
+        mem_homogeneous = false;
+        rep = 3;
+      }
+  in
+  match Heuristics.Algorithms.metahvp.solve inst with
+  | None -> Alcotest.fail "planning failed"
+  | Some sol -> (
+      match
+        Sharing.Runtime_eval.actual_min_yield Sharing.Policy.Alloc_weights
+          ~true_instance:inst ~estimated:inst sol.placement
+      with
+      | None -> Alcotest.fail "evaluation failed"
+      | Some actual ->
+          Alcotest.(check bool)
+            (Printf.sprintf "actual %.4f >= planned %.4f" actual sol.min_yield)
+            true
+            (actual >= sol.min_yield -. 1e-6))
+
+let test_theorem_check_rows () =
+  let rows = Experiments.Theorem_check.run ~random_per_j:20 ~js:[ 2; 4 ] () in
+  List.iter
+    (fun (r : Experiments.Theorem_check.row) ->
+      Alcotest.(check (float 1e-6)) "tight" r.bound r.worst_case_ratio;
+      Alcotest.(check bool) "random above bound" true
+        (r.min_random_ratio >= r.bound -. 1e-6))
+    rows
+
+let test_light_runs () =
+  let r = Experiments.Light.run tiny_scale in
+  Alcotest.(check bool) "consistent counts" true
+    (r.both_solved + r.only_hvp + r.only_light <= r.n_instances);
+  Alcotest.(check bool) "report renders" true
+    (String.length (Experiments.Light.report r) > 0)
+
+let test_ablation_window () =
+  let rows = Experiments.Ablation.window_sweep ~hosts:4 ~services:8 ~reps:2 () in
+  Alcotest.(check int) "two windows" 2 (List.length rows)
+
+let test_ablation_pp_impl () =
+  let rows =
+    Experiments.Ablation.pp_implementation ~dims_list:[ 2; 3 ] ~items:20
+      ~bins:6 ~reps:2 ()
+  in
+  List.iter
+    (fun (r : Experiments.Ablation.pp_impl_row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "identical at D=%d" r.dims)
+        true r.identical)
+    rows
+
+let test_ablation_tolerance () =
+  let rows =
+    Experiments.Ablation.tolerance_sweep ~hosts:4 ~services:8 ~reps:1 ()
+  in
+  Alcotest.(check int) "four tolerances" 4 (List.length rows);
+  (* Yield must be monotonically non-decreasing as tolerance tightens. *)
+  let rec check = function
+    | (a : Experiments.Ablation.tolerance_row)
+      :: (b :: _ as rest : Experiments.Ablation.tolerance_row list) ->
+        Alcotest.(check bool) "tighter tolerance never hurts yield" true
+          (b.mean_yield >= a.mean_yield -. 1e-9);
+        check rest
+    | _ -> ()
+  in
+  check rows
+
+let test_success_rate () =
+  let cells =
+    Experiments.Success_rate.run ~hosts:4 ~services:10
+      ~slacks:[ 0.05; 0.5 ] ~covs:[ 0.5 ] ~reps:2 ()
+  in
+  Alcotest.(check int) "4 algos x 2 slacks" 8 (List.length cells);
+  List.iter
+    (fun (c : Experiments.Success_rate.cell) ->
+      Alcotest.(check bool) "solved <= total" true (c.solved <= c.total))
+    cells;
+  (* Harder slack never has a strictly better rate for the same algorithm
+     at this corpus size. *)
+  Alcotest.(check bool) "report renders" true
+    (String.length (Experiments.Success_rate.report cells) > 0)
+
+let test_cov_family () =
+  let cells =
+    Experiments.Families.cov_family ~slacks:[ 0.5 ] ~covs:[ 0.5 ] ~reps:1
+      tiny_scale
+  in
+  Alcotest.(check int) "two contenders x one cell" 2 (List.length cells);
+  Alcotest.(check bool) "report renders" true
+    (String.length (Experiments.Families.report_cov_family cells) > 0)
+
+let test_error_family () =
+  let cells =
+    Experiments.Families.error_family ~slacks:[ 0.5 ] ~covs:[ 0.5 ]
+      ~max_errors:[ 0.; 0.2 ] ~reps:1 tiny_scale
+  in
+  Alcotest.(check int) "two error levels" 2 (List.length cells);
+  Alcotest.(check bool) "report renders" true
+    (String.length (Experiments.Families.report_error_family cells) > 0)
+
+let test_scale_presets () =
+  Alcotest.(check string) "small" "small" Experiments.Scale.small.label;
+  Alcotest.(check string) "medium" "medium" Experiments.Scale.medium.label;
+  Alcotest.(check string) "paper" "paper" Experiments.Scale.paper.label;
+  Alcotest.(check int) "paper uses 64 hosts" 64
+    Experiments.Scale.paper.table1_hosts;
+  Alcotest.(check (list int)) "paper service counts" [ 100; 250; 500 ]
+    Experiments.Scale.paper.table1_services
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("corpus deterministic", test_corpus_deterministic);
+      ("corpus reps vary", test_corpus_rep_variation);
+      ("sweep size", test_sweep_size);
+      ("table1 runs", test_table1_runs);
+      ("fig-cov runs", test_fig_cov_runs);
+      ("fig-cov variant", test_fig_cov_homogeneous_variant);
+      ("fig-error runs", test_fig_error_runs);
+      ("error eval with perfect estimates", test_error_eval_perfect_estimates);
+      ("theorem check rows", test_theorem_check_rows);
+      ("light comparison runs", test_light_runs);
+      ("ablation window", test_ablation_window);
+      ("ablation PP implementations agree", test_ablation_pp_impl);
+      ("ablation tolerance monotone", test_ablation_tolerance);
+      ("success rate", test_success_rate);
+      ("cov family", test_cov_family);
+      ("error family", test_error_family);
+      ("scale presets", test_scale_presets);
+    ]

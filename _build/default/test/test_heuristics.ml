@@ -1,0 +1,345 @@
+(* Tests for the placement heuristics: binary search, VP solvers, greedy
+   family, the MILP formulation, and randomized rounding. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* Small deterministic instances. *)
+
+let instance_fig1 =
+  Model.Instance.v
+    ~nodes:
+      [|
+        Model.Node.make_cores ~id:0 ~cores:4 ~cpu:3.2 ~mem:1.0;
+        Model.Node.make_cores ~id:1 ~cores:2 ~cpu:2.0 ~mem:0.5;
+      |]
+    ~services:
+      [|
+        Model.Service.make_2d ~id:0 ~cpu_req:(0.5, 1.0) ~mem_req:0.5
+          ~cpu_need:(0.5, 1.0) ();
+      |]
+
+let gen_instance ~seed ~hosts ~services ~slack =
+  Workload.Generator.generate
+    ~rng:(Prng.Rng.create ~seed)
+    {
+      Workload.Generator.hosts;
+      services;
+      cov = 0.5;
+      slack;
+      cpu_homogeneous = false;
+      mem_homogeneous = false;
+    }
+
+(* Binary search. *)
+
+let test_binary_search_exact_one () =
+  match Heuristics.Binary_search.maximize (fun y -> if y <= 1. then Some y else None)
+  with
+  | Some (_, y) -> check_float "reaches 1" 1. y
+  | None -> Alcotest.fail "should succeed"
+
+let test_binary_search_threshold () =
+  let target = 0.37 in
+  match
+    Heuristics.Binary_search.maximize (fun y -> if y <= target then Some y else None)
+  with
+  | Some (_, y) ->
+      Alcotest.(check bool) "within tolerance below target" true
+        (y <= target && target -. y <= 2. *. Heuristics.Binary_search.default_tolerance)
+  | None -> Alcotest.fail "should succeed"
+
+let test_binary_search_zero_fail () =
+  Alcotest.(check bool) "failure at 0 propagates" true
+    (Heuristics.Binary_search.maximize (fun _ -> None) = None)
+
+let test_binary_search_invalid_tolerance () =
+  Alcotest.check_raises "tolerance"
+    (Invalid_argument "Binary_search.maximize: tolerance") (fun () ->
+      ignore (Heuristics.Binary_search.maximize ~tolerance:0. (fun _ -> Some ())))
+
+(* VP solver on Fig. 1: the only service should land on node B with yield
+   1. *)
+
+let any_strategy =
+  {
+    Packing.Strategy.algo = Packing.Strategy.First_fit;
+    item_order = Vec.Metric.Unsorted;
+    bin_order = Vec.Metric.Unsorted;
+    variant = Packing.Strategy.Vp;
+  }
+
+let test_vp_solver_fig1 () =
+  match Heuristics.Vp_solver.solve any_strategy instance_fig1 with
+  | Some sol ->
+      check_float "yield 1 on node B" 1.0 sol.min_yield;
+      Alcotest.(check int) "node B" 1 sol.placement.(0)
+  | None -> Alcotest.fail "should solve"
+
+let test_items_at_yield () =
+  let items = Heuristics.Vp_solver.items_at_yield instance_fig1 0.6 in
+  check_float "aggregate demand" 1.6
+    (Vec.Vector.get items.(0).Packing.Item.demand.Vec.Epair.aggregate 0)
+
+(* Greedy. *)
+
+let test_greedy_counts () =
+  Alcotest.(check int) "49 combinations" 49
+    (List.length Heuristics.Greedy.all_combinations)
+
+let test_greedy_fig1 () =
+  (* Worst-fit P6 places the service on the biggest node (A, yield 0.6);
+     METAGREEDY must find B (yield 1.0). *)
+  (match Heuristics.Greedy.solve Heuristics.Greedy.S1 Heuristics.Greedy.P6
+           instance_fig1
+   with
+  | Some sol -> check_float "P6 lands on A" 0.6 sol.min_yield
+  | None -> Alcotest.fail "P6 should place");
+  match Heuristics.Greedy.metagreedy instance_fig1 with
+  | Some sol -> check_float "METAGREEDY finds B" 1.0 sol.min_yield
+  | None -> Alcotest.fail "METAGREEDY should place"
+
+let test_greedy_infeasible () =
+  let inst =
+    Model.Instance.v
+      ~nodes:[| Model.Node.make_cores ~id:0 ~cores:4 ~cpu:0.5 ~mem:0.2 |]
+      ~services:[| Model.Service.make_2d ~id:0 ~mem_req:0.5 () |]
+  in
+  Alcotest.(check bool) "no greedy placement" true
+    (Heuristics.Greedy.metagreedy inst = None)
+
+let test_metagreedy_beats_singletons () =
+  let inst = gen_instance ~seed:5 ~hosts:6 ~services:18 ~slack:0.4 in
+  match Heuristics.Greedy.metagreedy inst with
+  | None -> Alcotest.fail "metagreedy failed"
+  | Some best ->
+      List.iter
+        (fun (s, p) ->
+          match Heuristics.Greedy.solve s p inst with
+          | None -> ()
+          | Some sol ->
+              Alcotest.(check bool)
+                (Printf.sprintf "META >= %s/%s" (Heuristics.Greedy.sort_name s)
+                   (Heuristics.Greedy.place_name p))
+                true
+                (best.min_yield >= sol.min_yield -. 1e-12))
+        Heuristics.Greedy.all_combinations
+
+(* MILP formulation. *)
+
+let test_milp_formulation_shape () =
+  let problem, mapping = Heuristics.Milp.formulation instance_fig1 in
+  Alcotest.(check int) "variables" ((2 * 1 * 2) + 1) problem.Lp.Problem.n_vars;
+  Alcotest.(check int) "objective var" 4 mapping.Heuristics.Milp.y_min;
+  Alcotest.(check bool) "e vars integral" true problem.Lp.Problem.integer.(0);
+  Alcotest.(check bool) "y vars rational" false
+    problem.Lp.Problem.integer.(mapping.Heuristics.Milp.y 0 0)
+
+let test_milp_exact_fig1 () =
+  match Heuristics.Milp.solve_exact instance_fig1 with
+  | Some (Some e) ->
+      check_float "optimal Y" 1.0 e.milp_objective;
+      Alcotest.(check int) "places on B" 1 e.solution.placement.(0)
+  | _ -> Alcotest.fail "exact solve failed"
+
+let test_milp_infeasible_instance () =
+  let inst =
+    Model.Instance.v
+      ~nodes:[| Model.Node.make_cores ~id:0 ~cores:4 ~cpu:0.5 ~mem:0.2 |]
+      ~services:[| Model.Service.make_2d ~id:0 ~mem_req:0.5 () |]
+  in
+  Alcotest.(check bool) "infeasible" true
+    (Heuristics.Milp.solve_exact inst = Some None)
+
+let test_relaxed_bound_dominates () =
+  let inst = gen_instance ~seed:11 ~hosts:4 ~services:10 ~slack:0.5 in
+  match
+    (Heuristics.Milp.relaxed_bound inst, Heuristics.Algorithms.metahvp.solve inst)
+  with
+  | Some bound, Some sol ->
+      Alcotest.(check bool) "LP bound >= heuristic yield" true
+        (bound +. 1e-6 >= sol.min_yield)
+  | Some _, None -> ()
+  | None, _ -> Alcotest.fail "relaxation should be feasible"
+
+let test_relaxed_e_matrix_rows_sum_to_one () =
+  let inst = gen_instance ~seed:13 ~hosts:4 ~services:8 ~slack:0.5 in
+  match Heuristics.Milp.relaxed_e_matrix inst with
+  | None -> Alcotest.fail "relaxation should be feasible"
+  | Some e ->
+      Array.iteri
+        (fun j row ->
+          let sum = Array.fold_left ( +. ) 0. row in
+          Alcotest.(check (float 1e-6))
+            (Printf.sprintf "row %d sums to 1" j)
+            1.0 sum)
+        e
+
+(* Rounding. *)
+
+let test_round_probabilities_respects_requirements () =
+  (* Two services of 0.6 memory, two nodes of 1.0 memory: both cannot share
+     a node; rounding must split them even with probabilities pushing
+     together. *)
+  let inst =
+    Model.Instance.v
+      ~nodes:
+        [|
+          Model.Node.make_cores ~id:0 ~cores:4 ~cpu:1.0 ~mem:1.0;
+          Model.Node.make_cores ~id:1 ~cores:4 ~cpu:1.0 ~mem:1.0;
+        |]
+      ~services:
+        [|
+          Model.Service.make_2d ~id:0 ~mem_req:0.6 ();
+          Model.Service.make_2d ~id:1 ~mem_req:0.6 ();
+        |]
+  in
+  let e_matrix = [| [| 1.0; 0.0 |]; [| 1.0; 0.0 |] |] in
+  (* RRND-style: service 1's only nonzero probability is node 0, which is
+     full after service 0 -> failure. *)
+  Alcotest.(check bool) "rrnd-style fails" true
+    (Heuristics.Rounding.round_probabilities
+       ~rng:(Prng.Rng.create ~seed:0)
+       ~e_matrix inst
+     = None);
+  (* RRNZ fixes it by injecting epsilon. *)
+  match Heuristics.Rounding.rrnz ~rng:(Prng.Rng.create ~seed:0) inst with
+  | Some sol ->
+      Alcotest.(check bool) "services split" true
+        (sol.placement.(0) <> sol.placement.(1))
+  | None -> Alcotest.fail "rrnz should succeed"
+
+let test_rounding_deterministic_given_seed () =
+  let inst = gen_instance ~seed:17 ~hosts:4 ~services:10 ~slack:0.5 in
+  let a = Heuristics.Rounding.rrnz ~rng:(Prng.Rng.create ~seed:9) inst in
+  let b = Heuristics.Rounding.rrnz ~rng:(Prng.Rng.create ~seed:9) inst in
+  match (a, b) with
+  | Some sa, Some sb ->
+      Alcotest.(check bool) "same placement" true
+        (sa.placement = sb.placement)
+  | None, None -> ()
+  | _ -> Alcotest.fail "nondeterministic"
+
+(* Meta algorithms. *)
+
+let test_metavp_at_least_single_strategies () =
+  let inst = gen_instance ~seed:23 ~hosts:6 ~services:20 ~slack:0.4 in
+  match Heuristics.Algorithms.metavp.solve inst with
+  | None ->
+      List.iter
+        (fun strategy ->
+          Alcotest.(check bool)
+            (Packing.Strategy.name strategy ^ " also fails")
+            true
+            (Heuristics.Vp_solver.solve strategy inst = None))
+        Packing.Strategy.vp_all
+  | Some meta ->
+      List.iter
+        (fun strategy ->
+          match Heuristics.Vp_solver.solve strategy inst with
+          | None -> ()
+          | Some sol ->
+              Alcotest.(check bool)
+                ("METAVP >= " ^ Packing.Strategy.name strategy)
+                true
+                (meta.min_yield >= sol.min_yield -. 1e-3))
+        Packing.Strategy.vp_all
+
+let test_algorithm_registry () =
+  Alcotest.(check int) "5 majors" 5
+    (List.length (Heuristics.Algorithms.majors ~seed:0));
+  Alcotest.(check bool) "lookup" true
+    (Heuristics.Algorithms.by_name ~seed:0 "metahvplight" <> None);
+  Alcotest.(check bool) "unknown" true
+    (Heuristics.Algorithms.by_name ~seed:0 "nope" = None)
+
+(* Properties. *)
+
+let small_instance_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 10_000 in
+    let* hosts = int_range 2 5 in
+    let* services = int_range 2 12 in
+    let* slack10 = int_range 3 7 in
+    pure (seed, hosts, services, float_of_int slack10 /. 10.))
+
+let solutions_are_valid ~name solve =
+  QCheck2.Test.make ~name ~count:60 small_instance_gen
+    (fun (seed, hosts, services, slack) ->
+      let inst = gen_instance ~seed ~hosts ~services ~slack in
+      match solve inst with
+      | None -> true
+      | Some (sol : Heuristics.Vp_solver.solution) -> (
+          sol.min_yield >= -1e-9
+          && sol.min_yield <= 1. +. 1e-9
+          &&
+          match Model.Placement.water_fill inst sol.placement with
+          | None -> false
+          | Some alloc -> (
+              match Model.Placement.check_constraints inst alloc with
+              | Ok () -> true
+              | Error _ -> false)))
+
+let prop_metahvp_valid =
+  solutions_are_valid ~name:"METAHVP solutions valid"
+    Heuristics.Algorithms.metahvp.solve
+
+let prop_metagreedy_valid =
+  solutions_are_valid ~name:"METAGREEDY solutions valid"
+    Heuristics.Greedy.metagreedy
+
+let prop_rrnz_valid =
+  solutions_are_valid ~name:"RRNZ solutions valid" (fun inst ->
+      Heuristics.Rounding.rrnz ~rng:(Prng.Rng.create ~seed:1) inst)
+
+let prop_heuristics_below_milp_optimum =
+  QCheck2.Test.make ~name:"heuristics never beat the exact MILP" ~count:25
+    QCheck2.Gen.(
+      let* seed = int_range 0 1000 in
+      let* hosts = int_range 2 3 in
+      let* services = int_range 2 6 in
+      pure (seed, hosts, services))
+    (fun (seed, hosts, services) ->
+      let inst = gen_instance ~seed ~hosts ~services ~slack:0.5 in
+      match Heuristics.Milp.solve_exact ~node_limit:50_000 inst with
+      | None -> QCheck2.assume_fail () (* truncated: skip *)
+      | Some None ->
+          (* Infeasible: heuristics must fail too. *)
+          Heuristics.Algorithms.metahvp.solve inst = None
+      | Some (Some exact) -> (
+          match Heuristics.Algorithms.metahvp.solve inst with
+          | None -> true
+          | Some sol ->
+              (* Water-filling can exceed the MILP's uniform-yield optimum
+                 for individual services but the minimum yield cannot. *)
+              sol.min_yield <= exact.solution.min_yield +. 1e-6))
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("binary search reaches 1", test_binary_search_exact_one);
+      ("binary search threshold", test_binary_search_threshold);
+      ("binary search fails at 0", test_binary_search_zero_fail);
+      ("binary search tolerance validation", test_binary_search_invalid_tolerance);
+      ("vp solver on Fig. 1", test_vp_solver_fig1);
+      ("items at yield", test_items_at_yield);
+      ("greedy 49 combinations", test_greedy_counts);
+      ("greedy on Fig. 1", test_greedy_fig1);
+      ("greedy infeasible", test_greedy_infeasible);
+      ("metagreedy >= each greedy", test_metagreedy_beats_singletons);
+      ("MILP formulation shape", test_milp_formulation_shape);
+      ("MILP exact on Fig. 1", test_milp_exact_fig1);
+      ("MILP infeasible", test_milp_infeasible_instance);
+      ("LP bound dominates heuristics", test_relaxed_bound_dominates);
+      ("relaxed e rows sum to 1", test_relaxed_e_matrix_rows_sum_to_one);
+      ("rounding respects requirements", test_round_probabilities_respects_requirements);
+      ("rounding deterministic", test_rounding_deterministic_given_seed);
+      ("METAVP >= single strategies", test_metavp_at_least_single_strategies);
+      ("algorithm registry", test_algorithm_registry);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_metahvp_valid;
+        prop_metagreedy_valid;
+        prop_rrnz_valid;
+        prop_heuristics_below_milp_optimum;
+      ]

@@ -1,0 +1,284 @@
+(* Tests for the vector-packing engine: bins, First/Best-Fit,
+   Permutation-Pack (fast and naive implementations), and the strategy
+   enumerations. *)
+
+open Packing
+
+let v = Vec.Vector.of_list
+let epair e a = Vec.Epair.v ~elementary:(v e) ~aggregate:(v a)
+
+let item id e a = Item.v ~id ~demand:(epair e a)
+let bin id e a = Bin.v ~id ~capacity:(epair e a)
+
+(* A simple uniform item: elementary = aggregate (poolable view). *)
+let uitem id comps = item id comps comps
+let ubin id comps = bin id comps comps
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_bin_fits_and_place () =
+  let b = ubin 0 [ 1.0; 1.0 ] in
+  let i1 = uitem 0 [ 0.6; 0.2 ] in
+  let i2 = uitem 1 [ 0.6; 0.2 ] in
+  Alcotest.(check bool) "fits empty" true (Bin.fits b i1);
+  Bin.place b i1;
+  Alcotest.(check bool) "second overflows dim 0" false (Bin.fits b i2);
+  check_float "load" 0.6 (Vec.Vector.get (Bin.load_vector b) 0);
+  check_float "remaining" 0.4 (Vec.Vector.get (Bin.remaining b) 0);
+  check_float "load sum" 0.8 (Bin.load_sum b);
+  check_float "remaining sum" 1.2 (Bin.remaining_sum b)
+
+let test_bin_elementary_filter () =
+  (* Elementary demand exceeds elementary capacity: never fits, regardless
+     of aggregate headroom. *)
+  let b = bin 0 [ 0.25; 1.0 ] [ 1.0; 1.0 ] in
+  let i = item 0 [ 0.3; 0.1 ] [ 0.3; 0.1 ] in
+  Alcotest.(check bool) "elementary filter" false (Bin.fits b i)
+
+let test_first_fit_order () =
+  let bins = [| ubin 0 [ 0.5; 0.5 ]; ubin 1 [ 1.0; 1.0 ] |] in
+  let items = [| uitem 0 [ 0.4; 0.4 ]; uitem 1 [ 0.4; 0.4 ] |] in
+  Alcotest.(check bool) "packs" true (Fit.first_fit ~bins ~items);
+  let assign = Strategy.assignment ~bins ~n_items:2 in
+  (* First item goes to bin 0 (first that fits), second no longer fits
+     there. *)
+  Alcotest.(check (array int)) "assignment" [| 0; 1 |] assign
+
+let test_first_fit_failure_is_reported () =
+  let bins = [| ubin 0 [ 0.5; 0.5 ] |] in
+  let items = [| uitem 0 [ 0.6; 0.1 ] |] in
+  Alcotest.(check bool) "cannot pack" false (Fit.first_fit ~bins ~items)
+
+let test_best_fit_by_load () =
+  (* Identical bins; after the first item, BF prefers the fuller bin. *)
+  let bins = [| ubin 0 [ 1.0; 1.0 ]; ubin 1 [ 1.0; 1.0 ] |] in
+  let items =
+    [| uitem 0 [ 0.3; 0.3 ]; uitem 1 [ 0.3; 0.3 ]; uitem 2 [ 0.3; 0.3 ] |]
+  in
+  Alcotest.(check bool) "packs" true
+    (Fit.best_fit ~rank:Fit.By_load ~bins ~items);
+  let assign = Strategy.assignment ~bins ~n_items:3 in
+  Alcotest.(check (array int)) "all on one bin" [| 0; 0; 0 |] assign
+
+let test_best_fit_by_remaining_prefers_smaller_bin () =
+  (* Heterogeneous: HVP Best-Fit targets the bin with least remaining
+     capacity. *)
+  let bins = [| ubin 0 [ 1.0; 1.0 ]; ubin 1 [ 0.5; 0.5 ] |] in
+  let items = [| uitem 0 [ 0.3; 0.3 ] |] in
+  Alcotest.(check bool) "packs" true
+    (Fit.best_fit ~rank:Fit.By_remaining ~bins ~items);
+  Alcotest.(check (array int)) "smaller bin wins" [| 1 |]
+    (Strategy.assignment ~bins ~n_items:1)
+
+let test_permutation_key_paper_example () =
+  (* Paper §3.5.2's 4-D example: bin ordering (4,2,3,1), item ordering
+     (3,1,4,2) -> key (3,4,1,2). 0-indexed: bin perm (3,1,2,0), item perm
+     (2,0,3,1), key (2,3,0,1). *)
+  let bin_perm = [| 3; 1; 2; 0 |] in
+  let pos = Array.make 4 0 in
+  Array.iteri (fun rank d -> pos.(d) <- rank) bin_perm;
+  (* item with demands ranked: largest in dim 2, then 0, then 3, then 1 *)
+  let it = uitem 0 [ 0.6; 0.1; 0.9; 0.3 ] in
+  let key = Permutation_pack.item_key ~bin_perm_pos:pos it in
+  Alcotest.(check (array int)) "key" [| 2; 3; 0; 1 |] key
+
+let test_compare_keys_window () =
+  let a = [| 0; 3; 1; 2 |] and b = [| 0; 1; 3; 2 |] in
+  Alcotest.(check bool) "full permutation order" true
+    (Permutation_pack.compare_keys Permutation_pack.Permutation ~window:4 a b
+     > 0);
+  Alcotest.(check bool) "window 1 ties" true
+    (Permutation_pack.compare_keys Permutation_pack.Permutation ~window:1 a b
+     = 0);
+  (* Choose-Pack compares window contents as a set. *)
+  Alcotest.(check bool) "choose w=2 {0,3} vs {0,1}" true
+    (Permutation_pack.compare_keys Permutation_pack.Choose ~window:2 a b > 0)
+
+let test_permutation_pack_balances () =
+  (* One bin, two dims. Load starts skewed by a seed item; PP must pick the
+     item that fights the imbalance. *)
+  let b = ubin 0 [ 1.0; 1.0 ] in
+  Bin.place b (uitem 99 [ 0.4; 0.1 ]);
+  (* dim 0 is loaded *)
+  let items = [| uitem 0 [ 0.3; 0.1 ]; uitem 1 [ 0.1; 0.3 ] |] in
+  Alcotest.(check bool) "packs" true
+    (Permutation_pack.pack ~bins:[| b |] ~items ());
+  (* Item 1 (big in dim 1, the less-loaded dimension) must be placed
+     first. *)
+  Alcotest.(check (list int)) "selection order (most recent first)" [ 0; 1; 99 ]
+    b.Bin.contents
+
+let test_permutation_pack_failure () =
+  let bins = [| ubin 0 [ 0.5; 0.5 ] |] in
+  let items = [| uitem 0 [ 0.4; 0.4 ]; uitem 1 [ 0.4; 0.4 ] |] in
+  Alcotest.(check bool) "second item does not fit" false
+    (Permutation_pack.pack ~bins ~items ())
+
+let test_strategy_counts () =
+  Alcotest.(check int) "33 VP strategies" 33 (List.length Strategy.vp_all);
+  Alcotest.(check int) "253 HVP strategies" 253 (List.length Strategy.hvp_all);
+  Alcotest.(check int) "60 light strategies" 60
+    (List.length Strategy.hvp_light)
+
+let test_strategy_names_unique () =
+  let names =
+    List.map Strategy.name (Strategy.vp_all @ Strategy.hvp_all)
+  in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_light_subset_of_full () =
+  let full = List.map Strategy.name Strategy.hvp_all in
+  List.iter
+    (fun s ->
+      let n = Strategy.name s in
+      Alcotest.(check bool) (n ^ " in METAHVP set") true (List.mem n full))
+    Strategy.hvp_light
+
+let test_hvp_first_fit_sorted_bins () =
+  (* HVP-FF with bins ascending by MAX: the small bin is tried first. *)
+  let strategy =
+    {
+      Strategy.algo = Strategy.First_fit;
+      item_order = Vec.Metric.Unsorted;
+      bin_order = Vec.Metric.Asc (Vec.Metric.Scalar Vec.Metric.Max);
+      variant = Strategy.Hvp;
+    }
+  in
+  let bins = [| ubin 0 [ 1.0; 1.0 ]; ubin 1 [ 0.5; 0.5 ] |] in
+  let items = [| uitem 0 [ 0.3; 0.3 ] |] in
+  match Strategy.run strategy ~bins ~items with
+  | Some assign -> Alcotest.(check (array int)) "small bin first" [| 1 |] assign
+  | None -> Alcotest.fail "should pack"
+
+(* Random packing instances. *)
+
+let random_packing_gen =
+  QCheck2.Gen.(
+    let* dims = int_range 2 4 in
+    let* n_bins = int_range 1 6 in
+    let* n_items = int_range 1 20 in
+    let* bin_comps =
+      list_size (pure n_bins) (list_size (pure dims) (float_range 0.3 1.))
+    in
+    let* item_comps =
+      list_size (pure n_items) (list_size (pure dims) (float_range 0.01 0.4))
+    in
+    pure (bin_comps, item_comps))
+
+let build_packing (bin_comps, item_comps) =
+  let bins =
+    Array.of_list (List.mapi (fun id comps -> ubin id comps) bin_comps)
+  in
+  let items =
+    Array.of_list (List.mapi (fun id comps -> uitem id comps) item_comps)
+  in
+  (bins, items)
+
+let no_overflow bins =
+  Array.for_all
+    (fun (b : Bin.t) ->
+      Vec.Vector.fits (Bin.load_vector b) b.Bin.capacity.Vec.Epair.aggregate)
+    bins
+
+let prop_packing_never_overflows =
+  QCheck2.Test.make ~name:"no algorithm ever overflows a bin" ~count:300
+    random_packing_gen (fun spec ->
+      List.for_all
+        (fun run ->
+          let bins, items = build_packing spec in
+          ignore (run ~bins ~items);
+          no_overflow bins)
+        [
+          (fun ~bins ~items -> Fit.first_fit ~bins ~items);
+          (fun ~bins ~items -> Fit.best_fit ~rank:Fit.By_load ~bins ~items);
+          (fun ~bins ~items ->
+            Fit.best_fit ~rank:Fit.By_remaining ~bins ~items);
+          (fun ~bins ~items -> Permutation_pack.pack ~bins ~items ());
+          (fun ~bins ~items ->
+            Permutation_pack.pack ~flavour:Permutation_pack.Choose ~window:1
+              ~bins ~items ());
+        ])
+
+let prop_success_means_all_placed =
+  QCheck2.Test.make ~name:"success <=> every item assigned" ~count:300
+    random_packing_gen (fun spec ->
+      let bins, items = build_packing spec in
+      let ok = Fit.first_fit ~bins ~items in
+      let assign = Strategy.assignment ~bins ~n_items:(Array.length items) in
+      let all_assigned = Array.for_all (fun b -> b >= 0) assign in
+      ok = all_assigned)
+
+let prop_fast_pp_equals_naive =
+  QCheck2.Test.make
+    ~name:"fast key-based PP selects exactly like the D!-list version"
+    ~count:200 random_packing_gen (fun spec ->
+      let bins_a, items_a = build_packing spec in
+      let bins_b, items_b = build_packing spec in
+      let ok_a = Permutation_pack.pack ~bins:bins_a ~items:items_a () in
+      let ok_b =
+        Naive_permutation_pack.pack ~bins:bins_b ~items:items_b ()
+      in
+      ok_a = ok_b
+      && Strategy.assignment ~bins:bins_a ~n_items:(Array.length items_a)
+         = Strategy.assignment ~bins:bins_b ~n_items:(Array.length items_b))
+
+let prop_pp_cp_coincide_at_window_1 =
+  QCheck2.Test.make ~name:"PP = CP at window 1 (paper §3.5.2)" ~count:200
+    random_packing_gen (fun spec ->
+      let bins_a, items_a = build_packing spec in
+      let bins_b, items_b = build_packing spec in
+      let ok_a =
+        Permutation_pack.pack ~flavour:Permutation_pack.Permutation ~window:1
+          ~bins:bins_a ~items:items_a ()
+      in
+      let ok_b =
+        Permutation_pack.pack ~flavour:Permutation_pack.Choose ~window:1
+          ~bins:bins_b ~items:items_b ()
+      in
+      ok_a = ok_b
+      && Strategy.assignment ~bins:bins_a ~n_items:(Array.length items_a)
+         = Strategy.assignment ~bins:bins_b ~n_items:(Array.length items_b))
+
+let prop_strategies_agree_on_feasibility_direction =
+  (* Any strategy that succeeds produces a complete, valid assignment. *)
+  QCheck2.Test.make ~name:"strategy runs produce valid assignments"
+    ~count:100 random_packing_gen (fun spec ->
+      List.for_all
+        (fun strategy ->
+          let bins, items = build_packing spec in
+          match Strategy.run strategy ~bins ~items with
+          | None -> true
+          | Some assign ->
+              Array.for_all
+                (fun b -> b >= 0 && b < Array.length bins)
+                assign
+              && no_overflow bins)
+        (Strategy.vp_all @ Strategy.hvp_light))
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("bin fits/place/load", test_bin_fits_and_place);
+      ("bin elementary filter", test_bin_elementary_filter);
+      ("first fit order", test_first_fit_order);
+      ("first fit failure", test_first_fit_failure_is_reported);
+      ("best fit by load", test_best_fit_by_load);
+      ("best fit by remaining (HVP)", test_best_fit_by_remaining_prefers_smaller_bin);
+      ("permutation key (paper example)", test_permutation_key_paper_example);
+      ("compare keys / window", test_compare_keys_window);
+      ("PP balances dimensions", test_permutation_pack_balances);
+      ("PP failure", test_permutation_pack_failure);
+      ("strategy counts 33/253/60", test_strategy_counts);
+      ("strategy names unique", test_strategy_names_unique);
+      ("light subset of METAHVP", test_light_subset_of_full);
+      ("HVP FF uses sorted bins", test_hvp_first_fit_sorted_bins);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_packing_never_overflows;
+        prop_success_means_all_placed;
+        prop_fast_pp_equals_naive;
+        prop_pp_cp_coincide_at_window_1;
+        prop_strategies_agree_on_feasibility_direction;
+      ]

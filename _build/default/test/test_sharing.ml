@@ -1,0 +1,325 @@
+(* Tests for the resource-sharing simulator: work-conserving scheduler,
+   allocation policies, Theorem 1, and the zero-knowledge baseline. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float6 = Alcotest.(check (float 1e-6))
+
+(* Work-conserving scheduler. *)
+
+let test_all_satisfiable () =
+  let alloc =
+    Sharing.Work_conserving.allocate ~capacity:1. ~weights:[| 1.; 1. |]
+      ~needs:[| 0.3; 0.4 |]
+  in
+  check_float "first" 0.3 alloc.(0);
+  check_float "second" 0.4 alloc.(1)
+
+let test_redistribution () =
+  (* needs (0.2, 0.9), equal weights, capacity 1: water-filling gives the
+     second service 0.8. *)
+  let alloc =
+    Sharing.Work_conserving.allocate ~capacity:1. ~weights:[| 1.; 1. |]
+      ~needs:[| 0.2; 0.9 |]
+  in
+  check_float "small satisfied" 0.2 alloc.(0);
+  check_float6 "big gets the rest" 0.8 alloc.(1)
+
+let test_weighted_shares () =
+  (* Weights 3:1, both unsatisfiable: allocations proportional. *)
+  let alloc =
+    Sharing.Work_conserving.allocate ~capacity:1. ~weights:[| 3.; 1. |]
+      ~needs:[| 2.; 2. |]
+  in
+  check_float6 "3/4" 0.75 alloc.(0);
+  check_float6 "1/4" 0.25 alloc.(1)
+
+let test_zero_capacity () =
+  let alloc =
+    Sharing.Work_conserving.allocate ~capacity:0. ~weights:[| 1. |]
+      ~needs:[| 1. |]
+  in
+  check_float "nothing" 0. alloc.(0)
+
+let test_zero_weights_rejected () =
+  Alcotest.check_raises "all weights zero"
+    (Invalid_argument "Work_conserving.allocate: all weights zero") (fun () ->
+      ignore
+        (Sharing.Work_conserving.allocate ~capacity:1. ~weights:[| 0.; 0. |]
+           ~needs:[| 0.5; 0.5 |]))
+
+let test_multi_round_cascade () =
+  (* Three services; two successive satisfactions release capacity. *)
+  let alloc =
+    Sharing.Work_conserving.allocate ~capacity:0.9
+      ~weights:[| 1.; 1.; 1. |]
+      ~needs:[| 0.1; 0.25; 1.0 |]
+  in
+  check_float "tiny" 0.1 alloc.(0);
+  check_float6 "middle" 0.25 alloc.(1);
+  check_float6 "rest to the big one" 0.55 alloc.(2)
+
+(* Scheduler invariants as properties. *)
+
+let sharing_gen =
+  QCheck2.Gen.(
+    let* j = int_range 1 12 in
+    let* capacity = float_range 0.1 2. in
+    let* weights = list_size (pure j) (float_range 0.01 3.) in
+    let* needs = list_size (pure j) (float_range 0. 1.) in
+    pure (capacity, Array.of_list weights, Array.of_list needs))
+
+let prop_never_exceeds_need =
+  QCheck2.Test.make ~name:"consumption never exceeds need" ~count:500
+    sharing_gen (fun (capacity, weights, needs) ->
+      let alloc = Sharing.Work_conserving.allocate ~capacity ~weights ~needs in
+      Array.for_all2 (fun a n -> a <= n +. 1e-9) alloc needs)
+
+let prop_never_exceeds_capacity =
+  QCheck2.Test.make ~name:"total consumption never exceeds capacity"
+    ~count:500 sharing_gen (fun (capacity, weights, needs) ->
+      let alloc = Sharing.Work_conserving.allocate ~capacity ~weights ~needs in
+      Array.fold_left ( +. ) 0. alloc
+      <= capacity +. (1e-6 *. float_of_int (Array.length needs)))
+
+let prop_work_conserving =
+  QCheck2.Test.make
+    ~name:"work conserving: capacity exhausted or all satisfied" ~count:500
+    sharing_gen (fun (capacity, weights, needs) ->
+      let alloc = Sharing.Work_conserving.allocate ~capacity ~weights ~needs in
+      let total = Array.fold_left ( +. ) 0. alloc in
+      let all_satisfied =
+        Array.for_all2 (fun a n -> a >= n -. 1e-9) alloc needs
+      in
+      let eps_budget =
+        Sharing.Work_conserving.epsilon *. float_of_int (Array.length needs)
+      in
+      all_satisfied || total >= capacity -. eps_budget -. 1e-9)
+
+let prop_satisfied_untouched_by_weights =
+  QCheck2.Test.make
+    ~name:"fully satisfiable demand ignores weights" ~count:300
+    QCheck2.Gen.(
+      let* j = int_range 1 8 in
+      let* weights = list_size (pure j) (float_range 0.01 3.) in
+      let* needs = list_size (pure j) (float_range 0. 0.1) in
+      pure (Array.of_list weights, Array.of_list needs))
+    (fun (weights, needs) ->
+      (* Sum of needs <= 0.8 < capacity 1: everyone satisfied. *)
+      let alloc =
+        Sharing.Work_conserving.allocate ~capacity:1. ~weights ~needs
+      in
+      (* A service declared satisfied may be short by at most the
+         scheduler's epsilon (the termination tolerance). *)
+      Array.for_all2
+        (fun a n -> Float.abs (a -. n) <= Sharing.Work_conserving.epsilon)
+        alloc needs)
+
+(* Policies. *)
+
+let test_alloc_caps_strands_capacity () =
+  (* Estimates gave service 0 a generous cap and service 1 a tiny one; the
+     true needs are reversed. Caps strand the surplus. *)
+  let yields =
+    Sharing.Policy.yields Sharing.Policy.Alloc_caps ~capacity:1.
+      ~estimated_allocations:[| 0.8; 0.1 |]
+      ~true_needs:[| 0.1; 0.8 |]
+  in
+  check_float "service 0 satisfied" 1.0 yields.(0);
+  check_float6 "service 1 starves at its cap" (0.1 /. 0.8) yields.(1)
+
+let test_alloc_weights_work_conserving () =
+  (* Same scenario under ALLOCWEIGHTS: the scheduler hands the surplus to
+     the underestimated service. *)
+  let yields =
+    Sharing.Policy.yields Sharing.Policy.Alloc_weights ~capacity:1.
+      ~estimated_allocations:[| 0.8; 0.1 |]
+      ~true_needs:[| 0.1; 0.8 |]
+  in
+  check_float "service 0 satisfied" 1.0 yields.(0);
+  check_float6 "service 1 recovered" 1.0 yields.(1)
+
+let test_equal_weights_ignores_estimates () =
+  let a =
+    Sharing.Policy.yields Sharing.Policy.Equal_weights ~capacity:1.
+      ~estimated_allocations:[| 0.9; 0.0 |]
+      ~true_needs:[| 0.6; 0.6 |]
+  in
+  let b =
+    Sharing.Policy.yields Sharing.Policy.Equal_weights ~capacity:1.
+      ~estimated_allocations:[| 0.0; 0.9 |]
+      ~true_needs:[| 0.6; 0.6 |]
+  in
+  check_float "same under permuted estimates" a.(0) b.(0);
+  check_float6 "split evenly" (0.5 /. 0.6) a.(0)
+
+let test_policy_zero_need_service () =
+  let yields =
+    Sharing.Policy.yields Sharing.Policy.Equal_weights ~capacity:1.
+      ~estimated_allocations:[| 0.0; 0.5 |]
+      ~true_needs:[| 0.0; 0.5 |]
+  in
+  check_float "zero-need yield 1" 1.0 yields.(0)
+
+let test_min_yield_empty () =
+  check_float "empty node" 1.0
+    (Sharing.Policy.min_yield Sharing.Policy.Equal_weights ~capacity:1.
+       ~estimated_allocations:[||] ~true_needs:[||])
+
+(* Theorem 1. *)
+
+let test_bound_values () =
+  check_float "J=1" 1.0 (Sharing.Theorem.bound 1);
+  check_float "J=2" 0.75 (Sharing.Theorem.bound 2);
+  check_float "J=10" 0.19 (Sharing.Theorem.bound 10)
+
+let test_tight_instance () =
+  List.iter
+    (fun j ->
+      let needs = Sharing.Theorem.worst_case_instance j in
+      check_float6
+        (Printf.sprintf "tight at J=%d" j)
+        (Sharing.Theorem.bound j)
+        (Sharing.Theorem.competitive_ratio ~needs))
+    [ 2; 3; 5; 8; 13 ]
+
+let test_optimal_min_yield () =
+  check_float "undersubscribed" 1.0
+    (Sharing.Theorem.optimal_min_yield ~needs:[| 0.2; 0.3 |]);
+  check_float6 "oversubscribed" (1. /. 1.5)
+    (Sharing.Theorem.optimal_min_yield ~needs:[| 0.5; 1.0 |])
+
+let prop_theorem_bound_holds =
+  QCheck2.Test.make
+    ~name:"EQUALWEIGHTS ratio >= (2J-1)/J^2 for needs in (0,1]" ~count:500
+    QCheck2.Gen.(
+      let* j = int_range 1 15 in
+      let* needs = list_size (pure j) (float_range 0.001 1.) in
+      pure (Array.of_list needs))
+    (fun needs ->
+      let j = Array.length needs in
+      Sharing.Theorem.competitive_ratio ~needs
+      >= Sharing.Theorem.bound j -. 1e-6)
+
+let prop_policy_yields_in_range =
+  QCheck2.Test.make ~name:"policy yields always in [0, 1]" ~count:300
+    QCheck2.Gen.(
+      let* j = int_range 1 10 in
+      let* capacity = float_range 0. 2. in
+      let* est = list_size (pure j) (float_bound_inclusive 1.) in
+      let* needs = list_size (pure j) (float_bound_inclusive 1.) in
+      let* policy = int_range 0 2 in
+      pure (capacity, Array.of_list est, Array.of_list needs, policy))
+    (fun (capacity, estimated_allocations, true_needs, policy) ->
+      let policy =
+        match policy with
+        | 0 -> Sharing.Policy.Alloc_caps
+        | 1 -> Sharing.Policy.Alloc_weights
+        | _ -> Sharing.Policy.Equal_weights
+      in
+      let ys =
+        Sharing.Policy.yields policy ~capacity ~estimated_allocations
+          ~true_needs
+      in
+      Array.for_all (fun y -> y >= -1e-9 && y <= 1. +. 1e-9) ys)
+
+let prop_adaptive_threshold_clamped =
+  QCheck2.Test.make ~name:"adaptive threshold stays in its clamp range"
+    ~count:200
+    QCheck2.Gen.(
+      let* obs =
+        list_size (int_range 1 20)
+          (list_size (int_range 1 8) (float_bound_inclusive 2.))
+      in
+      pure obs)
+    (fun observations ->
+      let c =
+        Sharing.Adaptive_threshold.create ~quantile:95. ~min_threshold:0.05
+          ~max_threshold:0.3 ()
+      in
+      List.iter
+        (fun xs ->
+          let estimated = Array.of_list xs in
+          let actual = Array.map (fun x -> x /. 2.) estimated in
+          Sharing.Adaptive_threshold.observe c ~estimated ~actual)
+        observations;
+      let t = Sharing.Adaptive_threshold.threshold c in
+      t >= 0.05 && t <= 0.3)
+
+(* Zero-knowledge baseline. *)
+
+let test_zero_knowledge_even_spread () =
+  let nodes =
+    Array.init 3 (fun id -> Model.Node.make_cores ~id ~cores:4 ~cpu:1. ~mem:1.)
+  in
+  let services =
+    Array.init 6 (fun id -> Model.Service.make_2d ~id ~mem_req:0.1 ())
+  in
+  let inst = Model.Instance.v ~nodes ~services in
+  match Sharing.Zero_knowledge.place inst with
+  | None -> Alcotest.fail "should place"
+  | Some placement ->
+      let counts = Array.make 3 0 in
+      Array.iter (fun h -> counts.(h) <- counts.(h) + 1) placement;
+      Alcotest.(check (array int)) "two per node" [| 2; 2; 2 |] counts
+
+let test_zero_knowledge_respects_memory () =
+  let nodes =
+    [|
+      Model.Node.make_cores ~id:0 ~cores:4 ~cpu:1. ~mem:0.15;
+      Model.Node.make_cores ~id:1 ~cores:4 ~cpu:1. ~mem:1.0;
+    |]
+  in
+  let services =
+    Array.init 3 (fun id -> Model.Service.make_2d ~id ~mem_req:0.3 ())
+  in
+  let inst = Model.Instance.v ~nodes ~services in
+  match Sharing.Zero_knowledge.place inst with
+  | None -> Alcotest.fail "should place"
+  | Some placement ->
+      Array.iteri
+        (fun j h ->
+          Alcotest.(check int) (Printf.sprintf "service %d avoids node 0" j) 1
+            h)
+        placement;
+      Alcotest.(check bool) "feasible" true
+        (Model.Placement.feasible inst placement)
+
+let test_zero_knowledge_failure () =
+  let inst =
+    Model.Instance.v
+      ~nodes:[| Model.Node.make_cores ~id:0 ~cores:4 ~cpu:1. ~mem:0.1 |]
+      ~services:[| Model.Service.make_2d ~id:0 ~mem_req:0.5 () |]
+  in
+  Alcotest.(check bool) "no fit" true (Sharing.Zero_knowledge.place inst = None)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("all satisfiable", test_all_satisfiable);
+      ("redistribution", test_redistribution);
+      ("weighted shares", test_weighted_shares);
+      ("zero capacity", test_zero_capacity);
+      ("zero weights rejected", test_zero_weights_rejected);
+      ("multi-round cascade", test_multi_round_cascade);
+      ("ALLOCCAPS strands capacity", test_alloc_caps_strands_capacity);
+      ("ALLOCWEIGHTS recovers surplus", test_alloc_weights_work_conserving);
+      ("EQUALWEIGHTS ignores estimates", test_equal_weights_ignores_estimates);
+      ("zero-need service", test_policy_zero_need_service);
+      ("empty node min yield", test_min_yield_empty);
+      ("theorem bound values", test_bound_values);
+      ("tight instance achieves the bound", test_tight_instance);
+      ("optimal min yield", test_optimal_min_yield);
+      ("zero-knowledge even spread", test_zero_knowledge_even_spread);
+      ("zero-knowledge respects memory", test_zero_knowledge_respects_memory);
+      ("zero-knowledge failure", test_zero_knowledge_failure);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_never_exceeds_need;
+        prop_never_exceeds_capacity;
+        prop_work_conserving;
+        prop_satisfied_untouched_by_weights;
+        prop_policy_yields_in_range;
+        prop_adaptive_threshold_clamped;
+        prop_theorem_bound_holds;
+      ]

@@ -1,0 +1,204 @@
+(* Tests for the online-hosting extension: event queue, adaptive threshold
+   controller, and the discrete-event engine. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* Event queue. *)
+
+let test_queue_ordering () =
+  let q = Simulator.Event_queue.create () in
+  Simulator.Event_queue.add q ~time:3. "c";
+  Simulator.Event_queue.add q ~time:1. "a";
+  Simulator.Event_queue.add q ~time:2. "b";
+  let pop () =
+    match Simulator.Event_queue.pop_min q with
+    | Some (_, x) -> x
+    | None -> Alcotest.fail "empty"
+  in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ());
+  Alcotest.(check bool) "empty" true (Simulator.Event_queue.is_empty q)
+
+let test_queue_tie_break_fifo () =
+  let q = Simulator.Event_queue.create () in
+  Simulator.Event_queue.add q ~time:1. "first";
+  Simulator.Event_queue.add q ~time:1. "second";
+  (match Simulator.Event_queue.pop_min q with
+  | Some (_, x) -> Alcotest.(check string) "insertion order" "first" x
+  | None -> Alcotest.fail "empty");
+  match Simulator.Event_queue.pop_min q with
+  | Some (_, x) -> Alcotest.(check string) "then second" "second" x
+  | None -> Alcotest.fail "empty"
+
+let prop_queue_sorts =
+  QCheck2.Test.make ~name:"event queue pops in time order" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 100) (float_bound_inclusive 1000.))
+    (fun times ->
+      let q = Simulator.Event_queue.create () in
+      List.iteri (fun i t -> Simulator.Event_queue.add q ~time:t i) times;
+      let rec drain acc =
+        match Simulator.Event_queue.pop_min q with
+        | None -> List.rev acc
+        | Some (t, _) -> drain (t :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort Float.compare times)
+
+(* Adaptive threshold. *)
+
+let test_adaptive_initial () =
+  let c = Sharing.Adaptive_threshold.create ~initial:0.2 () in
+  check_float "initial" 0.2 (Sharing.Adaptive_threshold.threshold c);
+  Alcotest.(check int) "no observations" 0
+    (Sharing.Adaptive_threshold.observations c)
+
+let test_adaptive_tracks_error () =
+  let c = Sharing.Adaptive_threshold.create ~quantile:100. () in
+  Sharing.Adaptive_threshold.observe c
+    ~estimated:[| 0.5; 0.3; 0.2 |]
+    ~actual:[| 0.45; 0.32; 0.2 |];
+  (* Gaps: 0.05, 0.02, 0.0 -> max = 0.05. *)
+  check_float "max gap" 0.05 (Sharing.Adaptive_threshold.threshold c);
+  Alcotest.(check int) "three observations" 3
+    (Sharing.Adaptive_threshold.observations c)
+
+let test_adaptive_clamped () =
+  let c =
+    Sharing.Adaptive_threshold.create ~quantile:100. ~max_threshold:0.1 ()
+  in
+  Sharing.Adaptive_threshold.observe c ~estimated:[| 1.0 |] ~actual:[| 0.0 |];
+  check_float "clamped" 0.1 (Sharing.Adaptive_threshold.threshold c)
+
+let test_adaptive_window_forgets () =
+  let c = Sharing.Adaptive_threshold.create ~quantile:100. ~window:2 () in
+  Sharing.Adaptive_threshold.observe c ~estimated:[| 0.5 |] ~actual:[| 0.0 |];
+  check_float "big gap" 0.5 (Sharing.Adaptive_threshold.threshold c);
+  (* Two small observations push the 0.5 out of the window. *)
+  Sharing.Adaptive_threshold.observe c
+    ~estimated:[| 0.1; 0.1 |]
+    ~actual:[| 0.09; 0.08 |];
+  Alcotest.(check bool) "forgot the spike" true
+    (Sharing.Adaptive_threshold.threshold c < 0.05)
+
+let test_adaptive_validation () =
+  Alcotest.check_raises "quantile"
+    (Invalid_argument "Adaptive_threshold.create: quantile out of [0, 100]")
+    (fun () ->
+      ignore (Sharing.Adaptive_threshold.create ~quantile:150. ()));
+  let c = Sharing.Adaptive_threshold.create () in
+  Alcotest.check_raises "length"
+    (Invalid_argument "Adaptive_threshold.observe: length mismatch")
+    (fun () ->
+      Sharing.Adaptive_threshold.observe c ~estimated:[| 1. |] ~actual:[||])
+
+(* Engine. *)
+
+let platform =
+  Array.init 4 (fun id -> Model.Node.make_cores ~id ~cores:4 ~cpu:0.6 ~mem:0.6)
+
+let quick_config =
+  {
+    Simulator.Engine.default_config with
+    horizon = 40.;
+    arrival_rate = 0.5;
+    mean_lifetime = 15.;
+    reallocation_period = 8.;
+  }
+
+let test_engine_runs () =
+  let stats =
+    Simulator.Engine.run ~rng:(Prng.Rng.create ~seed:1) quick_config ~platform
+  in
+  Alcotest.(check bool) "arrivals happened" true (stats.arrivals > 0);
+  Alcotest.(check int) "admissions + rejections = arrivals" stats.arrivals
+    (stats.admitted + stats.rejected);
+  Alcotest.(check int) "reallocation count" 5 stats.reallocations;
+  Alcotest.(check bool) "yield in range" true
+    (stats.mean_min_yield >= 0. && stats.mean_min_yield <= 1. +. 1e-9);
+  Alcotest.(check bool) "samples chronological" true
+    (let rec sorted = function
+       | (t1, _) :: ((t2, _) :: _ as rest) -> t1 <= t2 && sorted rest
+       | _ -> true
+     in
+     sorted stats.yield_samples)
+
+let test_engine_deterministic () =
+  let run () =
+    Simulator.Engine.run ~rng:(Prng.Rng.create ~seed:5) quick_config ~platform
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same arrivals" a.arrivals b.arrivals;
+  Alcotest.(check int) "same migrations" a.migrations b.migrations;
+  check_float "same yield" a.mean_min_yield b.mean_min_yield
+
+let test_engine_perfect_estimates_beat_caps_with_error () =
+  (* With zero error all policies coincide on yields at reallocation
+     points; with error, caps must not beat weights on average. *)
+  let with_policy policy max_error =
+    (Simulator.Engine.run
+       ~rng:(Prng.Rng.create ~seed:7)
+       { quick_config with policy; max_error; horizon = 60. }
+       ~platform)
+      .mean_min_yield
+  in
+  let weights = with_policy Sharing.Policy.Alloc_weights 0.15 in
+  let caps = with_policy Sharing.Policy.Alloc_caps 0.15 in
+  Alcotest.(check bool)
+    (Printf.sprintf "weights %.3f >= caps %.3f" weights caps)
+    true (weights >= caps -. 1e-9)
+
+let test_engine_rejects_when_full () =
+  let tiny =
+    [| Model.Node.make_cores ~id:0 ~cores:4 ~cpu:0.6 ~mem:0.05 |]
+  in
+  let stats =
+    Simulator.Engine.run ~rng:(Prng.Rng.create ~seed:3)
+      { quick_config with horizon = 60.; arrival_rate = 1. }
+      ~platform:tiny
+  in
+  Alcotest.(check bool) "some rejections" true (stats.rejected > 0)
+
+let test_engine_adaptive_threshold_moves () =
+  let controller = Sharing.Adaptive_threshold.create ~quantile:90. () in
+  let stats =
+    Simulator.Engine.run ~rng:(Prng.Rng.create ~seed:11)
+      {
+        quick_config with
+        horizon = 80.;
+        max_error = 0.1;
+        threshold = Simulator.Engine.Adaptive controller;
+      }
+      ~platform
+  in
+  Alcotest.(check bool) "threshold moved off zero" true
+    (stats.final_threshold > 0.);
+  Alcotest.(check bool) "threshold below clamp" true
+    (stats.final_threshold <= 0.5)
+
+let test_engine_validation () =
+  Alcotest.check_raises "horizon" (Invalid_argument "Engine.run: horizon")
+    (fun () ->
+      ignore
+        (Simulator.Engine.run
+           { quick_config with horizon = 0. }
+           ~platform))
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("event queue ordering", test_queue_ordering);
+      ("event queue FIFO ties", test_queue_tie_break_fifo);
+      ("adaptive initial", test_adaptive_initial);
+      ("adaptive tracks error", test_adaptive_tracks_error);
+      ("adaptive clamped", test_adaptive_clamped);
+      ("adaptive window forgets", test_adaptive_window_forgets);
+      ("adaptive validation", test_adaptive_validation);
+      ("engine runs", test_engine_runs);
+      ("engine deterministic", test_engine_deterministic);
+      ("weights >= caps under error", test_engine_perfect_estimates_beat_caps_with_error);
+      ("engine rejects when full", test_engine_rejects_when_full);
+      ("adaptive threshold moves", test_engine_adaptive_threshold_moves);
+      ("engine validation", test_engine_validation);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_queue_sorts ]

@@ -1,0 +1,150 @@
+(* Tests for the statistics library: summaries, the paper's pairwise
+   metrics, tables and series. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_summary_basic () =
+  let s = Stats.Summary.of_list [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check int) "count" 4 s.count;
+  check_float "mean" 2.5 s.mean;
+  check_float "min" 1. s.min;
+  check_float "max" 4. s.max;
+  check_float "stddev" (sqrt 1.25) s.stddev
+
+let test_summary_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_array: empty")
+    (fun () -> ignore (Stats.Summary.of_array [||]))
+
+let test_percentile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "median" 3. (Stats.Summary.median xs);
+  check_float "p0" 1. (Stats.Summary.percentile xs 0.);
+  check_float "p100" 5. (Stats.Summary.percentile xs 100.);
+  check_float "p25" 2. (Stats.Summary.percentile xs 25.)
+
+let test_cov () =
+  check_float "zero mean" 0.
+    (Stats.Summary.coefficient_of_variation [| 1.; -1. |]);
+  check_float "uniform" 0. (Stats.Summary.coefficient_of_variation [| 2.; 2. |])
+
+(* Pairwise. *)
+
+let test_pairwise_yield_diff () =
+  let a = [| Some 0.6; Some 0.8; None |] in
+  let b = [| Some 0.5; Some 0.4; Some 0.9 |] in
+  let c = Stats.Pairwise.compare ~a ~b in
+  (* Diffs: (0.6-0.5)/0.5 = 20%, (0.8-0.4)/0.4 = 100% -> avg 60%. *)
+  (match c.yield_diff_pct with
+  | Some y -> check_float "Y_{A,B}" 60. y
+  | None -> Alcotest.fail "expected diff");
+  (* S: only-A 0%, only-B 1/3. *)
+  Alcotest.(check (float 1e-9)) "S_{A,B}" (-100. /. 3.) c.success_diff_pct;
+  Alcotest.(check int) "both" 2 c.both_succeed;
+  Alcotest.(check int) "only b" 1 c.only_b
+
+let test_pairwise_antisymmetry () =
+  let a = [| Some 0.6; None; Some 0.2; None |] in
+  let b = [| Some 0.3; Some 0.4; None; None |] in
+  let ab = Stats.Pairwise.compare ~a ~b in
+  let ba = Stats.Pairwise.compare ~a:b ~b:a in
+  check_float "S antisymmetric" ab.success_diff_pct (-.ba.success_diff_pct);
+  Alcotest.(check int) "neither symmetric" ab.neither ba.neither
+
+let test_pairwise_zero_baseline_skipped () =
+  let a = [| Some 0.5 |] and b = [| Some 0. |] in
+  let c = Stats.Pairwise.compare ~a ~b in
+  Alcotest.(check bool) "no ratio against zero" true (c.yield_diff_pct = None);
+  Alcotest.(check int) "still counted as both" 1 c.both_succeed
+
+let test_pairwise_matrix () =
+  let results = [| [| Some 0.5 |]; [| Some 0.6 |]; [| None |] |] in
+  let names = [| "A"; "B"; "C" |] in
+  let m = Stats.Pairwise.matrix ~names ~results in
+  Alcotest.(check int) "ordered pairs" 6 (List.length m);
+  let a_vs_b =
+    List.find (fun (x, y, _) -> x = "A" && y = "B") m |> fun (_, _, c) -> c
+  in
+  (match a_vs_b.yield_diff_pct with
+  | Some y -> Alcotest.(check (float 1e-6)) "A vs B" (-16.666666) y
+  | None -> Alcotest.fail "diff expected")
+
+let test_pairwise_mismatch () =
+  Alcotest.check_raises "length"
+    (Invalid_argument "Pairwise.compare: length mismatch") (fun () ->
+      ignore (Stats.Pairwise.compare ~a:[| None |] ~b:[| None; None |]))
+
+(* Table. *)
+
+let test_table_render () =
+  let t = Stats.Table.create ~headers:[ "name"; "value" ] in
+  Stats.Table.add_row t [ "alpha"; "1" ];
+  Stats.Table.add_row t [ "b"; "22" ];
+  let rendered = Stats.Table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  Alcotest.(check string) "header" "name   value" (List.nth lines 0);
+  Alcotest.(check string) "row 1" "alpha  1" (List.nth lines 2)
+
+let test_table_row_mismatch () =
+  let t = Stats.Table.create ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "width"
+    (Invalid_argument "Table.add_row: width mismatch") (fun () ->
+      Stats.Table.add_row t [ "only one" ])
+
+(* Series. *)
+
+let test_series_aggregate () =
+  let pts =
+    Stats.Series.aggregate [ (0.5, 1.); (0.5, 3.); (0.1, 10.); (0.9, 0.) ]
+  in
+  Alcotest.(check int) "3 groups" 3 (List.length pts);
+  let p05 = List.nth pts 1 in
+  check_float "x" 0.5 p05.Stats.Series.x;
+  check_float "mean" 2. p05.Stats.Series.mean;
+  Alcotest.(check int) "count" 2 p05.Stats.Series.count;
+  (* Sorted by x. *)
+  check_float "first x" 0.1 (List.nth pts 0).Stats.Series.x
+
+let test_series_csv () =
+  let csv =
+    Stats.Series.to_csv ~header:("x", "y")
+      [ { Stats.Series.x = 0.1; mean = 0.5; count = 3 } ]
+  in
+  Alcotest.(check string) "csv" "x,y\n0.1,0.5\n" csv
+
+let test_series_render_no_data () =
+  Alcotest.(check string) "empty" "label: (no data)"
+    (Stats.Series.render ~label:"label" [])
+
+let prop_pairwise_counts_partition =
+  QCheck2.Test.make ~name:"pairwise counts partition the instance set"
+    ~count:300
+    QCheck2.Gen.(
+      let* n = int_range 1 50 in
+      let opt = option (float_bound_inclusive 1.) in
+      let* a = list_size (pure n) opt in
+      let* b = list_size (pure n) opt in
+      pure (Array.of_list a, Array.of_list b))
+    (fun (a, b) ->
+      let c = Stats.Pairwise.compare ~a ~b in
+      c.both_succeed + c.only_a + c.only_b + c.neither = Array.length a)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("summary basics", test_summary_basic);
+      ("summary empty", test_summary_empty);
+      ("percentiles", test_percentile);
+      ("coefficient of variation", test_cov);
+      ("pairwise yield diff", test_pairwise_yield_diff);
+      ("pairwise antisymmetry", test_pairwise_antisymmetry);
+      ("pairwise zero baseline", test_pairwise_zero_baseline_skipped);
+      ("pairwise matrix", test_pairwise_matrix);
+      ("pairwise mismatch", test_pairwise_mismatch);
+      ("table render", test_table_render);
+      ("table row mismatch", test_table_row_mismatch);
+      ("series aggregate", test_series_aggregate);
+      ("series csv", test_series_csv);
+      ("series render empty", test_series_render_no_data);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_pairwise_counts_partition ]
