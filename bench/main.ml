@@ -4,14 +4,80 @@
 
    Usage:  dune exec bench/main.exe [-- section ...]
    Sections: table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 figfamilies
-             successrate ranking hvplight theorem ablation online micro
-             (default: all).
-   Scale: VMALLOC_SCALE=small|medium|paper (default small). *)
+             successrate ranking hvplight theorem ablation online parbench
+             micro (default: all).
+   Scale: VMALLOC_SCALE=small|medium|paper (default small).
+   Parallelism: VMALLOC_DOMAINS=N (default: recommended domain count;
+   1 = legacy sequential path). Results are bit-for-bit independent of N;
+   wall times per section land in BENCH_par.json. *)
 
 let progress msg = Printf.eprintf "[bench] %s\n%!" msg
 
 let section_header name =
   Printf.printf "\n%s\n%s\n" name (String.make (String.length name) '=')
+
+(* The experiment drivers' trial fan-out. [None] = legacy sequential
+   path (VMALLOC_DOMAINS=1). *)
+let pool : Par.Pool.t option ref = ref None
+
+let pool_size () =
+  match !pool with Some p -> Par.Pool.size p | None -> 1
+
+(* Wall time per executed section, in execution order, for BENCH_par.json. *)
+let section_times : (string * float) list ref = ref []
+
+(* Sequential vs N-domain comparisons recorded by the parbench section. *)
+type comparison = {
+  c_section : string;
+  c_domains : int;
+  sequential_s : float;
+  parallel_s : float;
+}
+
+let comparisons : comparison list ref = ref []
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_par_json ~scale_label ~total path =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"scale\": \"%s\",\n" (json_escape scale_label);
+  out "  \"domains\": %d,\n" (pool_size ());
+  out "  \"total_seconds\": %.3f,\n" total;
+  out "  \"sections\": [\n";
+  let sections = List.rev !section_times in
+  List.iteri
+    (fun i (name, dt) ->
+      out "    {\"name\": \"%s\", \"seconds\": %.3f}%s\n" (json_escape name)
+        dt
+        (if i < List.length sections - 1 then "," else ""))
+    sections;
+  out "  ],\n";
+  out "  \"comparisons\": [\n";
+  let cs = List.rev !comparisons in
+  List.iteri
+    (fun i c ->
+      out
+        "    {\"section\": \"%s\", \"domains\": %d, \"sequential_seconds\": \
+         %.3f, \"parallel_seconds\": %.3f, \"speedup\": %.2f}%s\n"
+        (json_escape c.c_section) c.c_domains c.sequential_s c.parallel_s
+        (if c.parallel_s > 0. then c.sequential_s /. c.parallel_s else 0.)
+        (if i < List.length cs - 1 then "," else ""))
+    cs;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.eprintf "[bench] wrote %s\n%!" path
 
 (* Table 1 / Table 2 share their (expensive) runs. *)
 let table_runs = ref None
@@ -20,9 +86,39 @@ let get_table_runs scale =
   match !table_runs with
   | Some r -> r
   | None ->
-      let r = Experiments.Table1.run ~progress scale in
+      let r = Experiments.Table1.run ~progress ?pool:!pool scale in
       table_runs := Some r;
       r
+
+(* Sequential vs N-domain wall time on the Table 1 sweep — the perf
+   trajectory's first data point. Bypasses the table-run cache so both
+   arms do identical work. *)
+let run_parbench scale =
+  section_header "Parallel speedup (Table 1 sweep, sequential vs domains)";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq, sequential_s =
+    time (fun () -> Experiments.Table1.run ~progress scale)
+  in
+  let par, parallel_s =
+    time (fun () -> Experiments.Table1.run ~progress ?pool:!pool scale)
+  in
+  let identical =
+    Experiments.Table1.report_table1 seq = Experiments.Table1.report_table1 par
+  in
+  comparisons :=
+    { c_section = "table1"; c_domains = pool_size (); sequential_s;
+      parallel_s }
+    :: !comparisons;
+  Printf.printf
+    "sequential: %.2fs   %d domains: %.2fs   speedup: %.2fx\n\
+     reports byte-identical: %s\n"
+    sequential_s (pool_size ()) parallel_s
+    (if parallel_s > 0. then sequential_s /. parallel_s else 0.)
+    (if identical then "yes" else "NO (determinism bug!)")
 
 let run_table1 scale =
   section_header "Table 1: pairwise comparison of major heuristics";
@@ -41,7 +137,7 @@ let run_table2 scale =
 
 let run_fig_cov scale variant name =
   section_header name;
-  let result = Experiments.Fig_cov.run ~progress scale variant in
+  let result = Experiments.Fig_cov.run ~progress ?pool:!pool scale variant in
   print_string (Experiments.Fig_cov.report result);
   print_endline
     "Paper's shape: differences are <= 0 almost everywhere (METAHVP best);\n\
@@ -49,7 +145,9 @@ let run_fig_cov scale variant name =
 
 let run_fig_error scale services name =
   section_header name;
-  let result = Experiments.Fig_error.run ~progress scale ~services in
+  let result =
+    Experiments.Fig_error.run ~progress ?pool:!pool scale ~services
+  in
   print_string (Experiments.Fig_error.report result);
   print_endline
     "Paper's shape: ideal on top; weight/equal with threshold 0 decay\n\
@@ -82,11 +180,11 @@ let run_fig_families scale =
   section_header "Appendix figure families (Figs. 8-34 and 35-66, sampled)";
   print_string
     (Experiments.Families.report_cov_family
-       (Experiments.Families.cov_family ~progress scale));
+       (Experiments.Families.cov_family ~progress ?pool:!pool scale));
   print_newline ();
   print_string
     (Experiments.Families.report_error_family
-       (Experiments.Families.error_family ~progress scale))
+       (Experiments.Families.error_family ~progress ?pool:!pool scale))
 
 (* Online-hosting extension: fixed vs adaptive mitigation thresholds in the
    deployment loop the paper's conclusion sketches. *)
@@ -143,19 +241,20 @@ let run_online () =
 let run_ablation () =
   section_header "Ablations";
   print_string
-    (Experiments.Ablation.report_window (Experiments.Ablation.window_sweep ()));
+    (Experiments.Ablation.report_window
+       (Experiments.Ablation.window_sweep ?pool:!pool ()));
   print_newline ();
   print_string
     (Experiments.Ablation.report_pp_implementation
-       (Experiments.Ablation.pp_implementation ()));
+       (Experiments.Ablation.pp_implementation ?pool:!pool ()));
   print_newline ();
   print_string
     (Experiments.Ablation.report_tolerance
-       (Experiments.Ablation.tolerance_sweep ()));
+       (Experiments.Ablation.tolerance_sweep ?pool:!pool ()));
   print_newline ();
   print_string
     (Experiments.Ablation.report_dimension
-       (Experiments.Ablation.dimension_sweep ()))
+       (Experiments.Ablation.dimension_sweep ?pool:!pool ()))
 
 (* Bechamel micro-benchmarks: per-algorithm cost on one fixed mid-size
    instance (complements Table 2's wall-clock averages). *)
@@ -213,22 +312,35 @@ let all_sections =
   [
     "table1"; "table2"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
     "figfamilies"; "successrate"; "ranking"; "hvplight"; "theorem";
-    "ablation"; "online";
+    "ablation"; "online"; "parbench";
     "micro";
   ]
 
 let () =
   let scale = Experiments.Scale.from_env () in
+  let domains = Experiments.Scale.domains_from_env () in
+  if domains > 1 then pool := Some (Par.Pool.create ~domains);
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as args) -> args
     | _ -> all_sections
   in
+  (* Anything that varies across runs or domain counts goes to stderr:
+     stdout is the deterministic result stream. *)
   Printf.printf "vmalloc benchmark harness — scale preset: %s\n"
     scale.Experiments.Scale.label;
+  Printf.eprintf "[bench] trial parallelism: %d domain%s%s\n%!" domains
+    (if domains = 1 then "" else "s")
+    (if domains = 1 then " (legacy sequential path)" else "");
   let t0 = Unix.gettimeofday () in
+  let timed_section name f =
+    let s0 = Unix.gettimeofday () in
+    f ();
+    section_times := (name, Unix.gettimeofday () -. s0) :: !section_times
+  in
   List.iter
     (fun section ->
+      timed_section section @@ fun () ->
       match section with
       | "table1" -> run_table1 scale
       | "table2" -> run_table2 scale
@@ -260,7 +372,12 @@ let () =
       | "hvplight" -> run_hvplight scale
       | "theorem" -> run_theorem ()
       | "ablation" -> run_ablation ()
+      | "parbench" -> run_parbench scale
       | "micro" -> run_micro ()
       | other -> Printf.eprintf "unknown section %S (skipped)\n" other)
     requested;
-  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.eprintf "[bench] total bench time: %.1fs\n%!" total;
+  write_bench_par_json ~scale_label:scale.Experiments.Scale.label ~total
+    "BENCH_par.json";
+  Option.iter Par.Pool.shutdown !pool

@@ -161,8 +161,19 @@ let solve_cmd =
 
 (* compare *)
 
+let domains_term =
+  Arg.(value & opt int 0
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker domains for running the algorithms in parallel \
+                 (0 = read \\$VMALLOC_DOMAINS, defaulting to the \
+                 recommended domain count; 1 = sequential).")
+
+let resolve_domains = function
+  | 0 -> Experiments.Scale.domains_from_env ()
+  | d -> max 1 d
+
 let compare_cmd =
-  let run file opts =
+  let run file opts domains =
     match load_or_generate file opts with
     | Error e -> `Error (false, e)
     | Ok inst ->
@@ -170,27 +181,32 @@ let compare_cmd =
           Stats.Table.create ~headers:[ "algorithm"; "min yield"; "time (s)" ]
         in
         let all =
-          Heuristics.Algorithms.majors ~seed:opts.seed
-          @ [ Heuristics.Algorithms.metahvplight ]
+          Array.of_list
+            (Heuristics.Algorithms.majors ~seed:opts.seed
+            @ [ Heuristics.Algorithms.metahvplight ])
         in
-        List.iter
-          (fun (algo : Heuristics.Algorithms.t) ->
-            let t0 = Sys.time () in
-            let cell =
-              match algo.solve inst with
-              | Some sol -> Printf.sprintf "%.4f" sol.min_yield
-              | None -> "fail"
-            in
-            Stats.Table.add_row table
-              [ algo.name; cell; Printf.sprintf "%.3f" (Sys.time () -. t0) ])
-          all;
+        (* One task per algorithm; rows land in registry order either way. *)
+        let rows =
+          Par.Pool.with_pool ~domains:(resolve_domains domains) (fun pool ->
+              Par.Pool.map pool all (fun (algo : Heuristics.Algorithms.t) ->
+                  let t0 = Unix.gettimeofday () in
+                  let cell =
+                    match algo.solve inst with
+                    | Some sol -> Printf.sprintf "%.4f" sol.min_yield
+                    | None -> "fail"
+                  in
+                  [ algo.name; cell;
+                    Printf.sprintf "%.3f" (Unix.gettimeofday () -. t0) ]))
+        in
+        Array.iter (Stats.Table.add_row table) rows;
         Stats.Table.print table;
         `Ok ()
   in
   Cmd.v
     (Cmd.info "compare"
-       ~doc:"Run the paper's major algorithms on one instance.")
-    Term.(ret (const run $ instance_file_term $ gen_opts_term))
+       ~doc:"Run the paper's major algorithms on one instance (in parallel \
+             with --domains > 1).")
+    Term.(ret (const run $ instance_file_term $ gen_opts_term $ domains_term))
 
 (* inspect *)
 

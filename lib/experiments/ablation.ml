@@ -20,23 +20,26 @@ let pp_strategy ~window =
     variant = Packing.Strategy.Hvp;
   }
 
-let window_sweep ?(hosts = 12) ?(services = 60) ?(reps = 10) () =
+let window_sweep ?pool ?(hosts = 12) ?(services = 60) ?(reps = 10) () =
   let instances =
-    Corpus.sweep ~hosts ~services ~covs:[ 0.5; 1.0 ] ~slacks:[ 0.3 ] ~reps ()
+    Array.of_list
+      (Corpus.sweep ~hosts ~services ~covs:[ 0.5; 1.0 ] ~slacks:[ 0.3 ]
+         ~reps ())
   in
   List.map
     (fun window ->
+      let results =
+        Run.map ?pool instances (fun (_, inst) ->
+            Heuristics.Vp_solver.solve (pp_strategy ~window) inst)
+      in
       let successes = ref 0 and yield_sum = ref 0. in
-      List.iter
-        (fun (_, inst) ->
-          match
-            Heuristics.Vp_solver.solve (pp_strategy ~window) inst
-          with
-          | Some sol ->
+      Array.iter
+        (function
+          | Some (sol : Heuristics.Vp_solver.solution) ->
               incr successes;
               yield_sum := !yield_sum +. sol.min_yield
           | None -> ())
-        instances;
+        results;
       {
         window;
         successes = !successes;
@@ -78,11 +81,10 @@ let synthetic_packing ~rng ~dims ~items ~bins =
   in
   (mk_items, mk_bins)
 
-let pp_implementation ?(dims_list = [ 2; 3; 4; 5; 6; 7 ]) ?(items = 80)
+let pp_implementation ?pool ?(dims_list = [ 2; 3; 4; 5; 6; 7 ]) ?(items = 80)
     ?(bins = 20)
     ?(reps = 5) () =
-  List.map
-    (fun dims ->
+  Run.concat_map_list ?pool dims_list (fun dims ->
       let fast_time = ref 0. and naive_time = ref 0. in
       let identical = ref true in
       for rep = 1 to reps do
@@ -116,14 +118,15 @@ let pp_implementation ?(dims_list = [ 2; 3; 4; 5; 6; 7 ]) ?(items = 80)
         in
         if ok_a <> ok_b || assign_a <> assign_b then identical := false
       done;
-      {
-        dims;
-        items;
-        fast_seconds = !fast_time /. float_of_int reps;
-        naive_seconds = !naive_time /. float_of_int reps;
-        identical = !identical;
-      })
-    dims_list
+      [
+        {
+          dims;
+          items;
+          fast_seconds = !fast_time /. float_of_int reps;
+          naive_seconds = !naive_time /. float_of_int reps;
+          identical = !identical;
+        };
+      ])
 
 type tolerance_row = {
   tolerance : float;
@@ -131,32 +134,34 @@ type tolerance_row = {
   mean_seconds : float;
 }
 
-let tolerance_sweep ?(hosts = 12) ?(services = 60) ?(reps = 5) () =
+let tolerance_sweep ?pool ?(hosts = 12) ?(services = 60) ?(reps = 5) () =
   let instances =
-    Corpus.sweep ~hosts ~services ~covs:[ 0.5 ] ~slacks:[ 0.4 ] ~reps ()
+    Array.of_list
+      (Corpus.sweep ~hosts ~services ~covs:[ 0.5 ] ~slacks:[ 0.4 ] ~reps ())
   in
   List.map
     (fun tolerance ->
-      let yield_sum = ref 0. and time_sum = ref 0. and count = ref 0 in
-      List.iter
-        (fun (_, inst) ->
-          let result, dt =
+      let results =
+        Run.map ?pool instances (fun (_, inst) ->
             timed (fun () ->
                 Heuristics.Vp_solver.solve_multi ~tolerance
-                  Packing.Strategy.hvp_light inst)
-          in
+                  Packing.Strategy.hvp_light inst))
+      in
+      let yield_sum = ref 0. and time_sum = ref 0. and count = ref 0 in
+      Array.iter
+        (fun (result, dt) ->
           time_sum := !time_sum +. dt;
           match result with
-          | Some sol ->
+          | Some (sol : Heuristics.Vp_solver.solution) ->
               incr count;
               yield_sum := !yield_sum +. sol.min_yield
           | None -> ())
-        instances;
+        results;
       {
         tolerance;
         mean_yield =
           (if !count = 0 then 0. else !yield_sum /. float_of_int !count);
-        mean_seconds = !time_sum /. float_of_int (List.length instances);
+        mean_seconds = !time_sum /. float_of_int (Array.length instances);
       })
     [ 1e-1; 1e-2; 1e-3; 1e-4 ]
 
@@ -169,7 +174,7 @@ type dimension_row = {
   mean_seconds : float;
 }
 
-let dimension_sweep ?(hosts = 8) ?(services = 32) ?(reps = 5) () =
+let dimension_sweep ?pool ?(hosts = 8) ?(services = 32) ?(reps = 5) () =
   let resource_sets =
     [
       [| Workload.Generator_nd.cpu; Workload.Generator_nd.memory |];
@@ -180,8 +185,7 @@ let dimension_sweep ?(hosts = 8) ?(services = 32) ?(reps = 5) () =
       Workload.Generator_nd.default_resources;
     ]
   in
-  List.map
-    (fun resources ->
+  Run.concat_map_list ?pool resource_sets (fun resources ->
       let solved = ref 0 and yield_sum = ref 0. and time_sum = ref 0. in
       for rep = 1 to reps do
         let inst =
@@ -199,21 +203,22 @@ let dimension_sweep ?(hosts = 8) ?(services = 32) ?(reps = 5) () =
             yield_sum := !yield_sum +. sol.min_yield
         | None -> ()
       done;
-      {
-        n_dims = Array.length resources;
-        resource_names =
-          String.concat "+"
-            (Array.to_list
-               (Array.map
-                  (fun r -> r.Workload.Generator_nd.name)
-                  resources));
-        solved = !solved;
-        total = reps;
-        mean_yield =
-          (if !solved = 0 then 0. else !yield_sum /. float_of_int !solved);
-        mean_seconds = !time_sum /. float_of_int reps;
-      })
-    resource_sets
+      [
+        {
+          n_dims = Array.length resources;
+          resource_names =
+            String.concat "+"
+              (Array.to_list
+                 (Array.map
+                    (fun r -> r.Workload.Generator_nd.name)
+                    resources));
+          solved = !solved;
+          total = reps;
+          mean_yield =
+            (if !solved = 0 then 0. else !yield_sum /. float_of_int !solved);
+          mean_seconds = !time_sum /. float_of_int reps;
+        };
+      ])
 
 let report_window rows =
   let table =

@@ -7,6 +7,7 @@ type window_row = {
 }
 
 val window_sweep :
+  ?pool:Par.Pool.t ->
   ?hosts:int -> ?services:int -> ?reps:int -> unit -> window_row list
 (** Permutation-Pack window size 1 vs 2 on the 2-D workload (paper §3.5.2
     notes w=1 makes PP and CP coincide). *)
@@ -20,6 +21,7 @@ type pp_impl_row = {
 }
 
 val pp_implementation :
+  ?pool:Par.Pool.t ->
   ?dims_list:int list -> ?items:int -> ?bins:int -> ?reps:int -> unit ->
   pp_impl_row list
 (** Fast O(J²·D) key-based selection vs the literal D!-list formulation on
@@ -33,6 +35,7 @@ type tolerance_row = {
 }
 
 val tolerance_sweep :
+  ?pool:Par.Pool.t ->
   ?hosts:int -> ?services:int -> ?reps:int -> unit -> tolerance_row list
 (** Binary-search stopping width (paper: 1e-4) vs achieved yield and time,
     using METAHVPLIGHT. *)
@@ -47,6 +50,7 @@ type dimension_row = {
 }
 
 val dimension_sweep :
+  ?pool:Par.Pool.t ->
   ?hosts:int -> ?services:int -> ?reps:int -> unit -> dimension_row list
 (** Solve N-dimensional instances ({!Workload.Generator_nd}) with
     METAHVPLIGHT for D = 2..4 — the framework handles arbitrary resource

@@ -6,59 +6,55 @@ type cov_family_cell = {
   solved : int;
 }
 
-let cov_family ?(progress = fun _ -> ())
+let cov_family ?(progress = fun _ -> ()) ?pool
     ?(slacks = [ 0.1; 0.3; 0.5; 0.7; 0.9 ]) ?(covs = [ 0.; 0.5; 1. ])
     ?(reps = 2) (scale : Scale.t) =
   let contenders =
     [ Heuristics.Algorithms.metagreedy; Heuristics.Algorithms.metavp ]
   in
-  let cells = ref [] in
-  List.iter
-    (fun slack ->
+  (* One independent task per (slack, cov) grid cell; the task order (and
+     with it the returned cell order) matches the sequential nesting. *)
+  let grid =
+    List.concat_map (fun slack -> List.map (fun cov -> (slack, cov)) covs)
+      slacks
+  in
+  Run.concat_map_list ?pool grid (fun (slack, cov) ->
+      progress (Printf.sprintf "cov-family: slack %.1f cov %.1f" slack cov);
+      let instances =
+        Corpus.sweep ~hosts:scale.fig_cov_hosts
+          ~services:scale.fig_cov_services ~covs:[ cov ] ~slacks:[ slack ]
+          ~reps ()
+      in
+      let acc =
+        List.map
+          (fun (a : Heuristics.Algorithms.t) -> (a, ref 0., ref 0))
+          contenders
+      in
       List.iter
-        (fun cov ->
-          progress
-            (Printf.sprintf "cov-family: slack %.1f cov %.1f" slack cov);
-          let instances =
-            Corpus.sweep ~hosts:scale.fig_cov_hosts
-              ~services:scale.fig_cov_services ~covs:[ cov ]
-              ~slacks:[ slack ] ~reps ()
-          in
-          let acc =
-            List.map
-              (fun (a : Heuristics.Algorithms.t) -> (a, ref 0., ref 0))
-              contenders
-          in
-          List.iter
-            (fun (_, inst) ->
-              match Heuristics.Algorithms.metahvp.solve inst with
-              | None -> ()
-              | Some reference ->
-                  List.iter
-                    (fun ((algo : Heuristics.Algorithms.t), sum, count) ->
-                      match algo.solve inst with
-                      | None -> ()
-                      | Some sol ->
-                          sum := !sum +. (sol.min_yield -. reference.min_yield);
-                          incr count)
-                    acc)
-            instances;
-          List.iter
-            (fun ((algo : Heuristics.Algorithms.t), sum, count) ->
-              cells :=
-                {
-                  slack;
-                  cov;
-                  algorithm = algo.name;
-                  mean_diff =
-                    (if !count = 0 then 0. else !sum /. float_of_int !count);
-                  solved = !count;
-                }
-                :: !cells)
-            acc)
-        covs)
-    slacks;
-  List.rev !cells
+        (fun (_, inst) ->
+          match Heuristics.Algorithms.metahvp.solve inst with
+          | None -> ()
+          | Some reference ->
+              List.iter
+                (fun ((algo : Heuristics.Algorithms.t), sum, count) ->
+                  match algo.solve inst with
+                  | None -> ()
+                  | Some sol ->
+                      sum := !sum +. (sol.min_yield -. reference.min_yield);
+                      incr count)
+                acc)
+        instances;
+      List.map
+        (fun ((algo : Heuristics.Algorithms.t), sum, count) ->
+          {
+            slack;
+            cov;
+            algorithm = algo.name;
+            mean_diff =
+              (if !count = 0 then 0. else !sum /. float_of_int !count);
+            solved = !count;
+          })
+        acc)
 
 let report_cov_family cells =
   let buf = Buffer.create 2048 in
@@ -116,85 +112,79 @@ type error_family_cell = {
   zero_knowledge : float option;
 }
 
-let error_family ?(progress = fun _ -> ()) ?(slacks = [ 0.2; 0.6; 0.8 ])
-    ?(covs = [ 0.; 0.5; 1. ]) ?(max_errors = [ 0.; 0.2; 0.4 ]) ?(reps = 2)
-    (scale : Scale.t) =
+let error_family ?(progress = fun _ -> ()) ?pool
+    ?(slacks = [ 0.2; 0.6; 0.8 ]) ?(covs = [ 0.; 0.5; 1. ])
+    ?(max_errors = [ 0.; 0.2; 0.4 ]) ?(reps = 2) (scale : Scale.t) =
   let services = List.nth scale.error_services 1 in
   let metahvp = Heuristics.Algorithms.metahvp in
-  let cells = ref [] in
-  List.iter
-    (fun slack ->
-      List.iter
-        (fun cov ->
-          progress
-            (Printf.sprintf "error-family: slack %.1f cov %.1f" slack cov);
-          let instances =
-            Corpus.sweep ~hosts:scale.error_hosts ~services ~covs:[ cov ]
-              ~slacks:[ slack ] ~reps ()
+  (* One independent task per (slack, cov) grid cell, ordered as the
+     sequential nesting; every RNG inside is derived from the spec hash. *)
+  let grid =
+    List.concat_map (fun slack -> List.map (fun cov -> (slack, cov)) covs)
+      slacks
+  in
+  Run.concat_map_list ?pool grid (fun (slack, cov) ->
+      progress (Printf.sprintf "error-family: slack %.1f cov %.1f" slack cov);
+      let instances =
+        Corpus.sweep ~hosts:scale.error_hosts ~services ~covs:[ cov ]
+          ~slacks:[ slack ] ~reps ()
+      in
+      List.map
+        (fun max_error ->
+          let sums = Array.make 4 0. and counts = Array.make 4 0 in
+          let push i = function
+            | Some y ->
+                sums.(i) <- sums.(i) +. y;
+                counts.(i) <- counts.(i) + 1
+            | None -> ()
           in
           List.iter
-            (fun max_error ->
-              let sums = Array.make 4 0. and counts = Array.make 4 0 in
-              let push i = function
-                | Some y ->
-                    sums.(i) <- sums.(i) +. y;
-                    counts.(i) <- counts.(i) + 1
-                | None -> ()
+            (fun ((spec : Corpus.spec), true_instance) ->
+              push 0
+                (Option.map
+                   (fun (s : Heuristics.Vp_solver.solution) -> s.min_yield)
+                   (metahvp.solve true_instance));
+              push 3
+                (match Sharing.Zero_knowledge.place true_instance with
+                | None -> None
+                | Some placement ->
+                    Sharing.Runtime_eval.actual_min_yield
+                      Sharing.Policy.Equal_weights ~true_instance
+                      ~estimated:true_instance placement);
+              let rng =
+                Corpus.rng_of_spec { spec with rep = spec.rep + 2000 }
               in
-              List.iter
-                (fun ((spec : Corpus.spec), true_instance) ->
-                  push 0
-                    (Option.map
-                       (fun (s : Heuristics.Vp_solver.solution) ->
-                         s.min_yield)
-                       (metahvp.solve true_instance));
-                  push 3
-                    (match Sharing.Zero_knowledge.place true_instance with
-                    | None -> None
-                    | Some placement ->
-                        Sharing.Runtime_eval.actual_min_yield
-                          Sharing.Policy.Equal_weights ~true_instance
-                          ~estimated:true_instance placement);
-                  let rng =
-                    Corpus.rng_of_spec { spec with rep = spec.rep + 2000 }
-                  in
-                  let estimated_base =
-                    Workload.Errors.perturb ~rng ~max_error true_instance
-                  in
-                  List.iteri
-                    (fun i threshold ->
-                      let estimated =
-                        Workload.Errors.apply_threshold ~threshold
-                          estimated_base
-                      in
-                      match metahvp.solve estimated with
-                      | None -> ()
-                      | Some sol ->
-                          push (1 + i)
-                            (Sharing.Runtime_eval.actual_min_yield
-                               Sharing.Policy.Alloc_weights ~true_instance
-                               ~estimated sol.placement))
-                    [ 0.; 0.1 ])
-                instances;
-              let cell i =
-                if counts.(i) = 0 then None
-                else Some (sums.(i) /. float_of_int counts.(i))
+              let estimated_base =
+                Workload.Errors.perturb ~rng ~max_error true_instance
               in
-              cells :=
-                {
-                  slack;
-                  cov;
-                  max_error;
-                  ideal = cell 0;
-                  weight_t0 = cell 1;
-                  weight_t1 = cell 2;
-                  zero_knowledge = cell 3;
-                }
-                :: !cells)
-            max_errors)
-        covs)
-    slacks;
-  List.rev !cells
+              List.iteri
+                (fun i threshold ->
+                  let estimated =
+                    Workload.Errors.apply_threshold ~threshold estimated_base
+                  in
+                  match metahvp.solve estimated with
+                  | None -> ()
+                  | Some sol ->
+                      push (1 + i)
+                        (Sharing.Runtime_eval.actual_min_yield
+                           Sharing.Policy.Alloc_weights ~true_instance
+                           ~estimated sol.placement))
+                [ 0.; 0.1 ])
+            instances;
+          let cell i =
+            if counts.(i) = 0 then None
+            else Some (sums.(i) /. float_of_int counts.(i))
+          in
+          {
+            slack;
+            cov;
+            max_error;
+            ideal = cell 0;
+            weight_t0 = cell 1;
+            weight_t1 = cell 2;
+            zero_knowledge = cell 3;
+          })
+        max_errors)
 
 let report_error_family cells =
   let buf = Buffer.create 2048 in

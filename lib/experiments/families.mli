@@ -17,6 +17,7 @@ type cov_family_cell = {
 
 val cov_family :
   ?progress:(string -> unit) ->
+  ?pool:Par.Pool.t ->
   ?slacks:float list ->
   ?covs:float list ->
   ?reps:int ->
@@ -39,6 +40,7 @@ type error_family_cell = {
 
 val error_family :
   ?progress:(string -> unit) ->
+  ?pool:Par.Pool.t ->
   ?slacks:float list ->
   ?covs:float list ->
   ?max_errors:float list ->

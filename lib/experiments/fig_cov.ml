@@ -20,7 +20,7 @@ type result = {
   n_instances : int;
 }
 
-let run ?(progress = fun _ -> ()) ?slack (scale : Scale.t) variant =
+let run ?(progress = fun _ -> ()) ?pool ?slack (scale : Scale.t) variant =
   let slack = Option.value slack ~default:scale.fig_cov_slack in
   let cpu_homogeneous = variant = Cpu_homogeneous in
   let mem_homogeneous = variant = Mem_homogeneous in
@@ -29,34 +29,49 @@ let run ?(progress = fun _ -> ()) ?slack (scale : Scale.t) variant =
      else [])
     @ [ Heuristics.Algorithms.metagreedy; Heuristics.Algorithms.metavp ]
   in
+  (* Instance RNG streams are derived here, before dispatch. *)
   let instances =
-    Corpus.sweep ~hosts:scale.fig_cov_hosts ~services:scale.fig_cov_services
-      ~covs:scale.fig_cov_covs ~slacks:[ slack ] ~reps:scale.fig_cov_reps
-      ~cpu_homogeneous ~mem_homogeneous ()
+    Array.of_list
+      (Corpus.sweep ~hosts:scale.fig_cov_hosts
+         ~services:scale.fig_cov_services ~covs:scale.fig_cov_covs
+         ~slacks:[ slack ] ~reps:scale.fig_cov_reps ~cpu_homogeneous
+         ~mem_homogeneous ())
   in
-  let n = List.length instances in
+  let n = Array.length instances in
   progress
     (Printf.sprintf "fig-cov (%s): %d instances" (variant_name variant) n);
+  (* One trial per instance: the METAHVP reference plus each contender's
+     yield difference. Folding the per-trial results in input order
+     reproduces the sequential accumulation exactly. *)
+  let trials =
+    Run.map ?pool instances (fun ((spec : Corpus.spec), inst) ->
+        match Heuristics.Algorithms.metahvp.solve inst with
+        | None -> None
+        | Some reference ->
+            Some
+              (List.map
+                 (fun (algo : Heuristics.Algorithms.t) ->
+                   match algo.solve inst with
+                   | None -> None
+                   | Some sol ->
+                       Some (spec.cov, sol.min_yield -. reference.min_yield))
+                 contenders))
+  in
   let samples =
     List.map (fun (a : Heuristics.Algorithms.t) -> (a, ref [])) contenders
   in
   let failures = ref 0 in
-  List.iteri
-    (fun i ((spec : Corpus.spec), inst) ->
-      (match Heuristics.Algorithms.metahvp.solve inst with
+  Array.iter
+    (function
       | None -> incr failures
-      | Some reference ->
-          List.iter
-            (fun ((algo : Heuristics.Algorithms.t), acc) ->
-              match algo.solve inst with
+      | Some per_contender ->
+          List.iter2
+            (fun (_, acc) sample ->
+              match sample with
               | None -> ()
-              | Some sol ->
-                  acc :=
-                    (spec.cov, sol.min_yield -. reference.min_yield) :: !acc)
-            samples);
-      if (i + 1) mod 10 = 0 then
-        progress (Printf.sprintf "fig-cov: %d/%d done" (i + 1) n))
-    instances;
+              | Some point -> acc := point :: !acc)
+            samples per_contender)
+    trials;
   {
     variant;
     hosts = scale.fig_cov_hosts;

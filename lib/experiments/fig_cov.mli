@@ -26,8 +26,15 @@ type result = {
 }
 
 val run :
-  ?progress:(string -> unit) -> ?slack:float -> Scale.t -> variant -> result
-(** [slack] overrides the scale's slack, giving the Fig. 8–34 families. *)
+  ?progress:(string -> unit) ->
+  ?pool:Par.Pool.t ->
+  ?slack:float ->
+  Scale.t ->
+  variant ->
+  result
+(** [slack] overrides the scale's slack, giving the Fig. 8–34 families.
+    With a [pool], instances are solved in parallel; the result is
+    identical to the sequential run. *)
 
 val report : result -> string
 (** Per-CoV average table, ASCII scatter per contender, and inline CSV. *)

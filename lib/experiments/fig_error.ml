@@ -12,16 +12,90 @@ type result = {
   n_instances : int;
 }
 
-let run ?(progress = fun _ -> ()) ?slack ?cov (scale : Scale.t) ~services =
+let run ?(progress = fun _ -> ()) ?pool ?slack ?cov (scale : Scale.t)
+    ~services =
   let slack = Option.value slack ~default:scale.error_slack in
   let cov = Option.value cov ~default:scale.error_cov in
   let metahvp = Heuristics.Algorithms.metahvp in
+  (* Both the instance and the perturbation RNG of every trial are derived
+     here, sequentially and from the spec's stable hash, before any
+     dispatch — trial results cannot depend on execution order. *)
   let instances =
-    Corpus.sweep ~hosts:scale.error_hosts ~services ~covs:[ cov ]
-      ~slacks:[ slack ] ~reps:scale.error_reps ()
+    Array.of_list
+      (List.map
+         (fun ((spec : Corpus.spec), inst) ->
+           let perturb_rng =
+             Corpus.rng_of_spec { spec with rep = spec.rep + 1000 }
+           in
+           (inst, perturb_rng))
+         (Corpus.sweep ~hosts:scale.error_hosts ~services ~covs:[ cov ]
+            ~slacks:[ slack ] ~reps:scale.error_reps ()))
   in
-  let n = List.length instances in
+  let n = Array.length instances in
   progress (Printf.sprintf "fig-error: %d services, %d instances" services n);
+  (* Each trial emits its (series, max_error, yield) samples in the same
+     nested-loop order as the sequential code; trials are then folded in
+     input order, so the accumulated series are identical. *)
+  let trials =
+    Run.map ?pool instances (fun (true_instance, perturb_rng) ->
+        let out = ref [] in
+        let push name x y = out := (name, x, y) :: !out in
+        (* Ideal: plan with perfect knowledge. *)
+        let ideal = metahvp.solve true_instance in
+        (* Zero knowledge: even spread + equal weights, error-independent. *)
+        let zero_knowledge =
+          match Sharing.Zero_knowledge.place true_instance with
+          | None -> None
+          | Some placement ->
+              Sharing.Runtime_eval.actual_min_yield
+                Sharing.Policy.Equal_weights ~true_instance
+                ~estimated:true_instance placement
+        in
+        List.iter
+          (fun max_error ->
+            (match ideal with
+            | Some sol -> push "ideal" max_error sol.min_yield
+            | None -> ());
+            (match zero_knowledge with
+            | Some y -> push "zero-knowledge" max_error y
+            | None -> ());
+            let estimated_base =
+              Workload.Errors.perturb
+                ~rng:(Prng.Rng.copy perturb_rng)
+                ~max_error true_instance
+            in
+            List.iter
+              (fun threshold ->
+                let estimated =
+                  Workload.Errors.apply_threshold ~threshold estimated_base
+                in
+                match metahvp.solve estimated with
+                | None -> ()
+                | Some sol ->
+                    let eval policy =
+                      Sharing.Runtime_eval.actual_min_yield policy
+                        ~true_instance ~estimated sol.placement
+                    in
+                    (match eval Sharing.Policy.Alloc_weights with
+                    | Some y ->
+                        push
+                          (Printf.sprintf "weight, min=%.2f" threshold)
+                          max_error y
+                    | None -> ());
+                    (match eval Sharing.Policy.Equal_weights with
+                    | Some y ->
+                        push
+                          (Printf.sprintf "equal, min=%.2f" threshold)
+                          max_error y
+                    | None -> ());
+                    if threshold = 0. then
+                      match eval Sharing.Policy.Alloc_caps with
+                      | Some y -> push "caps, min=0.00" max_error y
+                      | None -> ())
+              scale.error_thresholds)
+          scale.error_max_errors;
+        List.rev !out)
+  in
   (* Accumulators keyed by series name; each sample is (max_error, yield). *)
   let acc : (string, (float * float) list ref) Hashtbl.t =
     Hashtbl.create 16
@@ -37,68 +111,9 @@ let run ?(progress = fun _ -> ()) ?slack ?cov (scale : Scale.t) ~services =
     in
     cell := (x, y) :: !cell
   in
-  List.iteri
-    (fun i ((spec : Corpus.spec), true_instance) ->
-      (* Ideal: plan with perfect knowledge. *)
-      let ideal = metahvp.solve true_instance in
-      (* Zero knowledge: even spread + equal weights, error-independent. *)
-      let zero_knowledge =
-        match Sharing.Zero_knowledge.place true_instance with
-        | None -> None
-        | Some placement ->
-            Sharing.Runtime_eval.actual_min_yield Sharing.Policy.Equal_weights
-              ~true_instance ~estimated:true_instance placement
-      in
-      let perturb_rng = Corpus.rng_of_spec { spec with rep = spec.rep + 1000 }
-      in
-      List.iter
-        (fun max_error ->
-          (match ideal with
-          | Some sol -> push "ideal" max_error sol.min_yield
-          | None -> ());
-          (match zero_knowledge with
-          | Some y -> push "zero-knowledge" max_error y
-          | None -> ());
-          let estimated_base =
-            Workload.Errors.perturb
-              ~rng:(Prng.Rng.copy perturb_rng)
-              ~max_error true_instance
-          in
-          List.iter
-            (fun threshold ->
-              let estimated =
-                Workload.Errors.apply_threshold ~threshold estimated_base
-              in
-              match metahvp.solve estimated with
-              | None -> ()
-              | Some sol ->
-                  let eval policy =
-                    Sharing.Runtime_eval.actual_min_yield policy ~true_instance
-                      ~estimated sol.placement
-                  in
-                  (match eval Sharing.Policy.Alloc_weights with
-                  | Some y ->
-                      push
-                        (Printf.sprintf "weight, min=%.2f" threshold)
-                        max_error y
-                  | None -> ());
-                  (match eval Sharing.Policy.Equal_weights with
-                  | Some y ->
-                      push
-                        (Printf.sprintf "equal, min=%.2f" threshold)
-                        max_error y
-                  | None -> ());
-                  if threshold = 0. then
-                    match eval Sharing.Policy.Alloc_caps with
-                    | Some y -> push "caps, min=0.00" max_error y
-                    | None -> ())
-            scale.error_thresholds)
-        scale.error_max_errors;
-      if (i + 1) mod 2 = 0 then
-        progress
-          (Printf.sprintf "fig-error: %d services, instance %d/%d" services
-             (i + 1) n))
-    instances;
+  Array.iter
+    (fun samples -> List.iter (fun (name, x, y) -> push name x y) samples)
+    trials;
   let order name =
     match name with
     | "ideal" -> 0

@@ -26,11 +26,15 @@ type result = {
 
 val run :
   ?progress:(string -> unit) ->
+  ?pool:Par.Pool.t ->
   ?slack:float ->
   ?cov:float ->
   Scale.t ->
   services:int ->
   result
-(** [slack]/[cov] override the scale's defaults (Fig. 35–66 families). *)
+(** [slack]/[cov] override the scale's defaults (Fig. 35–66 families).
+    With a [pool], instances are solved in parallel; every trial's
+    perturbation RNG is derived from its spec before dispatch, so the
+    result is identical to the sequential run. *)
 
 val report : result -> string

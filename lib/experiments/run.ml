@@ -1,0 +1,7 @@
+let map ?pool arr f =
+  match pool with
+  | Some pool when Par.Pool.size pool > 1 -> Par.Pool.map pool arr f
+  | Some _ | None -> Array.map f arr
+
+let concat_map_list ?pool list f =
+  Array.to_list (map ?pool (Array.of_list list) f) |> List.concat

@@ -1,0 +1,14 @@
+(** Shared trial fan-out for the experiment drivers.
+
+    Every driver takes an optional {!Par.Pool.t}; with no pool (or a pool
+    of size 1) the legacy sequential path runs. Both entry points preserve
+    input order, so aggregation folds observe trials exactly as the
+    sequential code did — the determinism contract of DESIGN.md §8. *)
+
+val map : ?pool:Par.Pool.t -> 'a array -> ('a -> 'b) -> 'b array
+(** Order-preserving map over one trial per array element. *)
+
+val concat_map_list :
+  ?pool:Par.Pool.t -> 'a list -> ('a -> 'b list) -> 'b list
+(** [List.concat_map] with the map fanned over the pool; result order is
+    the sequential one. *)

@@ -12,37 +12,48 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let run ?(progress = fun _ -> ()) (scale : Scale.t) =
+let run ?(progress = fun _ -> ()) ?pool (scale : Scale.t) =
   let algorithms = Array.of_list (Heuristics.Algorithms.majors ~seed:1) in
   List.map
     (fun services ->
+      (* The corpus (and with it every per-spec RNG stream) is derived
+         sequentially, before any dispatch; each trial below is then a pure
+         function of its instance, so the parallel fan-out returns
+         bit-for-bit the sequential results. *)
       let instances =
-        Corpus.sweep ~hosts:scale.table1_hosts ~services
-          ~covs:scale.table1_covs ~slacks:scale.table1_slacks
-          ~reps:scale.table1_reps ()
+        Array.of_list
+          (Corpus.sweep ~hosts:scale.table1_hosts ~services
+             ~covs:scale.table1_covs ~slacks:scale.table1_slacks
+             ~reps:scale.table1_reps ())
       in
-      let n = List.length instances in
+      let n = Array.length instances in
       progress
-        (Printf.sprintf "table1: %d services, %d instances" services n);
-      let yields =
-        Array.map (fun _ -> Array.make n None) algorithms
+        (Printf.sprintf "table1: %d services, %d instances%s" services n
+           (match pool with
+           | Some p when Par.Pool.size p > 1 ->
+               Printf.sprintf " on %d domains" (Par.Pool.size p)
+           | _ -> ""));
+      let per_instance =
+        Run.map ?pool instances (fun (_, inst) ->
+            Array.map
+              (fun (algo : Heuristics.Algorithms.t) ->
+                timed (fun () -> algo.solve inst))
+              algorithms)
       in
+      let yields = Array.map (fun _ -> Array.make n None) algorithms in
       let time_sum = Array.make (Array.length algorithms) 0. in
-      List.iteri
-        (fun i (_, inst) ->
+      Array.iteri
+        (fun i row ->
           Array.iteri
-            (fun a (algo : Heuristics.Algorithms.t) ->
-              let result, dt = timed (fun () -> algo.solve inst) in
+            (fun a (result, dt) ->
               time_sum.(a) <- time_sum.(a) +. dt;
               yields.(a).(i) <-
                 Option.map
                   (fun (s : Heuristics.Vp_solver.solution) -> s.min_yield)
                   result)
-            algorithms;
-          if (i + 1) mod 8 = 0 then
-            progress (Printf.sprintf "table1: %d services, %d/%d done"
-                        services (i + 1) n))
-        instances;
+            row)
+        per_instance;
+      progress (Printf.sprintf "table1: %d services done" services);
       {
         services;
         hosts = scale.table1_hosts;

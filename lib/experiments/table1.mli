@@ -11,9 +11,12 @@ type scenario = {
   mean_runtime : float array;  (** seconds, averaged over all instances *)
 }
 
-val run : ?progress:(string -> unit) -> Scale.t -> scenario list
+val run :
+  ?progress:(string -> unit) -> ?pool:Par.Pool.t -> Scale.t -> scenario list
 (** One scenario per entry of [scale.table1_services]; instances sweep the
-    scale's CoV and slack lists. *)
+    scale's CoV and slack lists. With a [pool], trials fan out over its
+    domains; yields (and thus {!report_table1}) are identical to the
+    sequential run — only [mean_runtime] varies with machine load. *)
 
 val report_table1 : scenario list -> string
 (** The (Y_{A,B}, S_{A,B}) matrices, one per scenario — paper Table 1. *)

@@ -1,0 +1,59 @@
+(** Fixed-size domain pool for deterministic experiment fan-out.
+
+    The paper's evaluation is embarrassingly parallel — hundreds of
+    independent (instance, algorithm) trials — so the experiment drivers
+    hand their trial arrays to a pool of OCaml 5 domains. Determinism is
+    preserved by construction: every trial owns an RNG stream derived
+    {e before} dispatch (from the stable per-spec hashes in
+    {!Experiments.Corpus} or an explicit {!Prng.Rng.split}), tasks never
+    share mutable state, and {!map} returns results in input order, so the
+    fold that aggregates them observes exactly the sequential order. A pool
+    of size 1 short-circuits to [Array.map] — the legacy path.
+
+    Built on the 5.1 stdlib only ([Domain], [Mutex], [Condition],
+    [Atomic]); no external scheduler. Worker domains live for the lifetime
+    of the pool, and the calling domain participates in every map, so a
+    pool never deadlocks even if its workers are busy elsewhere. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains - 1] worker domains (the caller is
+    the remaining member). [domains] is clamped below at 1. Pools are
+    cheap but not free — create one per run, not per trial batch. *)
+
+val size : t -> int
+(** Total parallelism, including the calling domain; [>= 1]. *)
+
+val map : t -> 'a array -> ('a -> 'b) -> 'b array
+(** [map pool arr f] applies [f] to every element, fanning the work over
+    the pool's domains, and returns the results {e in input order}. The
+    calling domain works too, so this makes progress with any pool size.
+    If any [f] raises, the first exception (in claim order) is re-raised
+    in the caller after all in-flight tasks finish. Tasks must not
+    themselves call into the same pool (no nested maps). *)
+
+val map_reduce :
+  t ->
+  ?chunk:int ->
+  'a array ->
+  map:('a -> 'b) ->
+  fold:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'acc
+(** Chunked map + sequential in-order fold: the array is cut into chunks
+    of [chunk] elements (default: a size targeting ~4 chunks per domain),
+    each chunk is mapped as one task, and [fold] consumes the mapped
+    values left-to-right in input order — so the result is identical to
+    [Array.fold_left] over [Array.map], whatever the pool size. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent; the pool is unusable after. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** Scoped [create]/[shutdown] (shutdown also runs on exceptions). *)
+
+val domains_from_env : unit -> int
+(** Parallelism selector: [VMALLOC_DOMAINS] if set to a positive integer
+    ([1] = legacy sequential path), else
+    [Domain.recommended_domain_count ()]. *)

@@ -13,6 +13,8 @@ let () =
       ("sharing", Test_sharing.suite);
       ("stats", Test_stats.suite);
       ("experiments", Test_experiments.suite);
+      ("rng", Test_rng.suite);
+      ("par", Test_par.suite);
       ("simulator", Test_simulator.suite);
       ("core-facade", Test_core.suite);
     ]

@@ -291,6 +291,37 @@ let prop_rrnz_valid =
   solutions_are_valid ~name:"RRNZ solutions valid" (fun inst ->
       Heuristics.Rounding.rrnz ~rng:(Prng.Rng.create ~seed:1) inst)
 
+(* Invariants every registry algorithm must satisfy on any reported
+   solution: the placement is structurally valid and feasible at yield 0 in
+   every dimension (elementary and aggregate requirements both fit), and
+   the reported minimum yield equals an independent
+   [Model.Placement.min_yield] recomputation. The bound is exact (1e-9):
+   all algorithms score through the same water-filling evaluation, so any
+   drift indicates a stale or hand-edited [min_yield]. *)
+
+let placement_invariants ~name solve =
+  QCheck2.Test.make ~name ~count:40 small_instance_gen
+    (fun (seed, hosts, services, slack) ->
+      let inst = gen_instance ~seed ~hosts ~services ~slack in
+      match solve inst with
+      | None -> true
+      | Some (sol : Heuristics.Vp_solver.solution) ->
+          Model.Placement.is_valid inst sol.placement
+          && Model.Placement.feasible inst sol.placement
+          &&
+          match Model.Placement.min_yield inst sol.placement with
+          | None -> false
+          | Some y -> Float.abs (y -. sol.min_yield) <= 1e-9)
+
+let prop_registry_invariants =
+  List.map
+    (fun (algo : Heuristics.Algorithms.t) ->
+      placement_invariants
+        ~name:(algo.name ^ ": feasible placement, yield recomputes")
+        algo.solve)
+    (Heuristics.Algorithms.majors ~seed:3
+    @ [ Heuristics.Algorithms.metahvplight ])
+
 let prop_heuristics_below_milp_optimum =
   QCheck2.Test.make ~name:"heuristics never beat the exact MILP" ~count:25
     QCheck2.Gen.(
@@ -343,3 +374,4 @@ let suite =
         prop_rrnz_valid;
         prop_heuristics_below_milp_optimum;
       ]
+  @ List.map QCheck_alcotest.to_alcotest prop_registry_invariants

@@ -210,6 +210,12 @@ let prop_success_means_all_placed =
       ok = all_assigned)
 
 let prop_fast_pp_equals_naive =
+  (* Differential oracle: the key-based implementation must be
+     observationally identical to the literal D!-list scan — same
+     success/failure, same final assignment, and the same placement
+     *sequence* into every bin ([Bin.contents] is most-recent-first, so
+     equal lists mean the two implementations selected items in the same
+     order, not merely reached the same end state). *)
   QCheck2.Test.make
     ~name:"fast key-based PP selects exactly like the D!-list version"
     ~count:200 random_packing_gen (fun spec ->
@@ -221,7 +227,10 @@ let prop_fast_pp_equals_naive =
       in
       ok_a = ok_b
       && Strategy.assignment ~bins:bins_a ~n_items:(Array.length items_a)
-         = Strategy.assignment ~bins:bins_b ~n_items:(Array.length items_b))
+         = Strategy.assignment ~bins:bins_b ~n_items:(Array.length items_b)
+      && Array.for_all2
+           (fun (a : Bin.t) (b : Bin.t) -> a.Bin.contents = b.Bin.contents)
+           bins_a bins_b)
 
 let prop_pp_cp_coincide_at_window_1 =
   QCheck2.Test.make ~name:"PP = CP at window 1 (paper §3.5.2)" ~count:200

@@ -1,0 +1,127 @@
+(* Tests for the deterministic worker pool (lib/par): Pool.map must agree
+   with Array.map at every pool size, preserve order, propagate exceptions,
+   and leave experiment drivers bit-for-bit reproducible. *)
+
+let with_pool = Par.Pool.with_pool
+
+let test_create_clamps () =
+  with_pool ~domains:0 (fun pool ->
+      Alcotest.(check int) "domains clamped to 1" 1 (Par.Pool.size pool))
+
+let check_map_matches ~domains n =
+  with_pool ~domains (fun pool ->
+      let input = Array.init n (fun i -> i) in
+      let f i = (i * 7919) mod 1009 in
+      Alcotest.(check (array int))
+        (Printf.sprintf "map = Array.map (n=%d, domains=%d)" n domains)
+        (Array.map f input)
+        (Par.Pool.map pool input f))
+
+let test_map_matches_sequential () =
+  List.iter
+    (fun domains ->
+      List.iter (fun n -> check_map_matches ~domains n) [ 0; 1; 2; 17; 1000 ])
+    [ 1; 2; 4 ]
+
+let test_map_preserves_order_under_skew () =
+  (* Uneven task costs: early indices are slow, late ones instant. Results
+     must still land at their input positions. *)
+  with_pool ~domains:4 (fun pool ->
+      let n = 64 in
+      let input = Array.init n (fun i -> i) in
+      let f i =
+        if i < 4 then (
+          let acc = ref 0 in
+          for k = 0 to 200_000 do
+            acc := (!acc + (k * i)) mod 65_537
+          done;
+          ignore !acc);
+        i * 2
+      in
+      Alcotest.(check (array int)) "order preserved"
+        (Array.map f input)
+        (Par.Pool.map pool input f))
+
+let test_map_reduce_sum () =
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun pool ->
+          let n = 500 in
+          let input = Array.init n (fun i -> i + 1) in
+          let total =
+            Par.Pool.map_reduce pool input
+              ~map:(fun x -> x * x)
+              ~fold:(fun acc x -> acc + x)
+              ~init:0
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "sum of squares (domains=%d)" domains)
+            (n * (n + 1) * ((2 * n) + 1) / 6)
+            total))
+    [ 1; 3 ]
+
+exception Boom of int
+
+let test_map_propagates_exception () =
+  with_pool ~domains:2 (fun pool ->
+      let input = Array.init 32 (fun i -> i) in
+      Alcotest.check_raises "first failure re-raised" (Boom 5) (fun () ->
+          ignore
+            (Par.Pool.map pool input (fun i ->
+                 if i = 5 then raise (Boom 5) else i))))
+
+let test_pool_reusable_after_error () =
+  with_pool ~domains:2 (fun pool ->
+      let input = Array.init 16 (fun i -> i) in
+      (try ignore (Par.Pool.map pool input (fun _ -> failwith "boom"))
+       with Failure _ -> ());
+      Alcotest.(check (array int)) "pool still works"
+        (Array.map succ input)
+        (Par.Pool.map pool input succ))
+
+(* The determinism contract end-to-end: a Table 1 mini-sweep must produce
+   the exact same report — yields, not timings — at any pool size, because
+   every trial's RNG stream is derived from its spec before dispatch. *)
+
+let mini_scale =
+  {
+    Experiments.Scale.small with
+    label = "mini";
+    table1_hosts = 4;
+    table1_services = [ 6 ];
+    table1_covs = [ 0.5 ];
+    table1_slacks = [ 0.5 ];
+    table1_reps = 2;
+  }
+
+let test_table1_parallel_identical () =
+  let report pool =
+    Experiments.Table1.report_table1 (Experiments.Table1.run ?pool mini_scale)
+  in
+  let sequential = report None in
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun pool ->
+          Alcotest.(check string)
+            (Printf.sprintf "table1 report identical at %d domains" domains)
+            sequential
+            (report (Some pool))))
+    [ 2; 4 ]
+
+let test_domains_from_env_default_positive () =
+  (* Whatever the machine, the resolved default must be a usable size. *)
+  Alcotest.(check bool) "positive" true (Par.Pool.domains_from_env () >= 1)
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("create clamps to >= 1 domain", test_create_clamps);
+      ("map = Array.map at 1/2/4 domains", test_map_matches_sequential);
+      ("map preserves order under skew", test_map_preserves_order_under_skew);
+      ("map_reduce sums chunks in order", test_map_reduce_sum);
+      ("map propagates exceptions", test_map_propagates_exception);
+      ("pool reusable after an error", test_pool_reusable_after_error);
+      ("Table 1 mini-sweep identical in parallel", test_table1_parallel_identical);
+      ("domains_from_env is positive", test_domains_from_env_default_positive);
+    ]
