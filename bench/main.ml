@@ -5,7 +5,7 @@
    Usage:  dune exec bench/main.exe [-- section ...]
    Sections: table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 figfamilies
              successrate ranking hvplight theorem ablation online parbench
-             micro (default: all).
+             probepar micro (default: all).
    Scale: VMALLOC_SCALE=small|medium|paper (default small).
    Parallelism: VMALLOC_DOMAINS=N (default: recommended domain count;
    1 = legacy sequential path). Results are bit-for-bit independent of N;
@@ -35,6 +35,19 @@ type comparison = {
 }
 
 let comparisons : comparison list ref = ref []
+
+(* Sequential vs k-probe yield-search comparisons (one instance, one
+   algorithm) recorded by the probepar section. *)
+type probe_comparison = {
+  p_algorithm : string;
+  p_domains : int;
+  p_seq_rounds : int;
+  p_par_rounds : int;
+  p_seq_s : float;
+  p_par_s : float;
+}
+
+let probe_comparisons : probe_comparison list ref = ref []
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -74,6 +87,22 @@ let write_bench_par_json ~scale_label ~total path =
         (if c.parallel_s > 0. then c.sequential_s /. c.parallel_s else 0.)
         (if i < List.length cs - 1 then "," else ""))
     cs;
+  out "  ],\n";
+  out "  \"probe_par\": [\n";
+  let ps = List.rev !probe_comparisons in
+  List.iteri
+    (fun i p ->
+      out
+        "    {\"algorithm\": \"%s\", \"domains\": %d, \"sequential_rounds\": \
+         %d, \"parallel_rounds\": %d, \"round_ratio\": %.2f, \
+         \"sequential_seconds\": %.3f, \"parallel_seconds\": %.3f}%s\n"
+        (json_escape p.p_algorithm) p.p_domains p.p_seq_rounds p.p_par_rounds
+        (if p.p_par_rounds > 0 then
+           float_of_int p.p_seq_rounds /. float_of_int p.p_par_rounds
+         else 0.)
+        p.p_seq_s p.p_par_s
+        (if i < List.length ps - 1 then "," else ""))
+    ps;
   out "  ]\n";
   out "}\n";
   close_out oc;
@@ -119,6 +148,83 @@ let run_parbench scale =
     sequential_s (pool_size ()) parallel_s
     (if parallel_s > 0. then sequential_s /. parallel_s else 0.)
     (if identical then "yes" else "NO (determinism bug!)")
+
+(* Sequential vs speculative k-probe yield search on one mid-size instance:
+   the pool accelerating a *single* trial rather than a trial sweep. Round
+   counts are deterministic (and bit-identity of the solutions is asserted);
+   wall times go to BENCH_par.json. On a 1-core container the wall-time
+   speedup is < 1 — the headline is the round ratio. *)
+let run_probe_par () =
+  section_header "Speculative k-probe yield search (sequential vs pooled)";
+  let inst =
+    Experiments.Corpus.instance
+      {
+        Experiments.Corpus.hosts = 10;
+        services = 40;
+        cov = 0.5;
+        slack = 0.4;
+        cpu_homogeneous = false;
+        mem_homogeneous = false;
+        rep = 0;
+      }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let table =
+    Stats.Table.create
+      ~headers:
+        [ "algorithm"; "domains"; "seq rounds"; "par rounds"; "ratio";
+          "identical" ]
+  in
+  List.iter
+    (fun (name, strategies) ->
+      let solve pool rounds =
+        Heuristics.Vp_solver.solve_multi ?pool
+          ~on_round:(fun _ -> incr rounds)
+          strategies inst
+      in
+      let seq_rounds = ref 0 in
+      let seq, p_seq_s = time (fun () -> solve None seq_rounds) in
+      List.iter
+        (fun domains ->
+          let par_rounds = ref 0 in
+          let par, p_par_s =
+            time (fun () ->
+                Par.Pool.with_pool ~domains (fun pool ->
+                    solve (Some pool) par_rounds))
+          in
+          let identical =
+            match (seq, par) with
+            | None, None -> true
+            | Some (a : Heuristics.Vp_solver.solution), Some b ->
+                a.placement = b.placement
+                && Int64.bits_of_float a.min_yield
+                   = Int64.bits_of_float b.min_yield
+            | _ -> false
+          in
+          probe_comparisons :=
+            { p_algorithm = name; p_domains = domains;
+              p_seq_rounds = !seq_rounds; p_par_rounds = !par_rounds;
+              p_seq_s; p_par_s }
+            :: !probe_comparisons;
+          Stats.Table.add_row table
+            [
+              name; string_of_int domains; string_of_int !seq_rounds;
+              string_of_int !par_rounds;
+              Printf.sprintf "%.2fx"
+                (float_of_int !seq_rounds /. float_of_int (max 1 !par_rounds));
+              (if identical then "yes" else "NO (determinism bug!)");
+            ])
+        [ 2; 4 ])
+    [
+      ("METAVP", Packing.Strategy.vp_all);
+      ("METAHVP", Packing.Strategy.hvp_all);
+      ("METAHVPLIGHT", Packing.Strategy.hvp_light);
+    ];
+  Stats.Table.print table
 
 let run_table1 scale =
   section_header "Table 1: pairwise comparison of major heuristics";
@@ -169,7 +275,8 @@ let run_ranking () =
 let run_hvplight scale =
   section_header "§5.1: METAHVPLIGHT";
   print_string
-    (Experiments.Light.report (Experiments.Light.run ~progress scale))
+    (Experiments.Light.report
+       (Experiments.Light.run ~progress ?pool:!pool scale))
 
 let run_theorem () =
   section_header "Theorem 1";
@@ -312,7 +419,7 @@ let all_sections =
   [
     "table1"; "table2"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
     "figfamilies"; "successrate"; "ranking"; "hvplight"; "theorem";
-    "ablation"; "online"; "parbench";
+    "ablation"; "online"; "parbench"; "probepar";
     "micro";
   ]
 
@@ -373,6 +480,7 @@ let () =
       | "theorem" -> run_theorem ()
       | "ablation" -> run_ablation ()
       | "parbench" -> run_parbench scale
+      | "probepar" -> run_probe_par ()
       | "micro" -> run_micro ()
       | other -> Printf.eprintf "unknown section %S (skipped)\n" other)
     requested;

@@ -119,6 +119,10 @@ let generate_cmd =
 
 (* solve *)
 
+let resolve_domains = function
+  | 0 -> Experiments.Scale.domains_from_env ()
+  | d -> max 1 d
+
 let algo_term =
   Arg.(value & opt string "metahvplight"
        & info [ "algo" ] ~docv:"NAME"
@@ -130,15 +134,29 @@ let solve_cmd =
     Arg.(value & flag & info [ "v"; "verbose" ]
            ~doc:"Print per-service yields and the placement.")
   in
-  let run file opts algo_name verbose =
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker domains for speculative parallel yield probes \
+                   (0 = read \\$VMALLOC_DOMAINS, defaulting to the \
+                   recommended domain count; 1 = sequential). The result \
+                   is bit-identical at any value.")
+  in
+  let run file opts algo_name verbose domains =
     match load_or_generate file opts with
     | Error e -> `Error (false, e)
     | Ok inst -> (
         match Heuristics.Algorithms.by_name ~seed:opts.seed algo_name with
         | None -> `Error (false, "unknown algorithm: " ^ algo_name)
         | Some algo -> (
+            let domains = resolve_domains domains in
+            let solve () =
+              if domains > 1 then
+                Par.Pool.with_pool ~domains (fun pool -> algo.solve ~pool inst)
+              else algo.solve inst
+            in
             let t0 = Sys.time () in
-            match algo.solve inst with
+            match solve () with
             | None ->
                 Printf.printf "%s: no feasible placement (%.3fs)\n" algo.name
                   (Sys.time () -. t0);
@@ -155,9 +173,11 @@ let solve_cmd =
                 `Ok ()))
   in
   Cmd.v
-    (Cmd.info "solve" ~doc:"Place services with one algorithm.")
+    (Cmd.info "solve"
+       ~doc:"Place services with one algorithm (--domains > 1 runs the \
+             yield search's probes in parallel).")
     Term.(ret (const run $ instance_file_term $ gen_opts_term $ algo_term
-               $ verbose))
+               $ verbose $ domains))
 
 (* compare *)
 
@@ -167,10 +187,6 @@ let domains_term =
            ~doc:"Worker domains for running the algorithms in parallel \
                  (0 = read \\$VMALLOC_DOMAINS, defaulting to the \
                  recommended domain count; 1 = sequential).")
-
-let resolve_domains = function
-  | 0 -> Experiments.Scale.domains_from_env ()
-  | d -> max 1 d
 
 let compare_cmd =
   let run file opts domains =

@@ -14,6 +14,9 @@ type result = {
   mean_time_light : float;
 }
 
-val run : ?progress:(string -> unit) -> Scale.t -> result
+val run : ?progress:(string -> unit) -> ?pool:Par.Pool.t -> Scale.t -> result
+(** With a [pool] of size > 1, each METAHVP / METAHVPLIGHT solve runs its
+    yield search speculatively over the pool — counts and yields are
+    bit-identical to the sequential run, only the timings change. *)
 
 val report : result -> string

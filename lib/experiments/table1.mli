@@ -12,10 +12,17 @@ type scenario = {
 }
 
 val run :
-  ?progress:(string -> unit) -> ?pool:Par.Pool.t -> Scale.t -> scenario list
+  ?progress:(string -> unit) ->
+  ?pool:Par.Pool.t ->
+  ?probe_pool:Par.Pool.t ->
+  Scale.t ->
+  scenario list
 (** One scenario per entry of [scale.table1_services]; instances sweep the
     scale's CoV and slack lists. With a [pool], trials fan out over its
-    domains; yields (and thus {!report_table1}) are identical to the
+    domains; with a [probe_pool], each trial's yield binary search instead
+    probes speculatively over that pool ({!Heuristics.Binary_search}
+    [.maximize_par]) — use one or the other, nesting them oversubscribes.
+    Either way yields (and thus {!report_table1}) are identical to the
     sequential run — only [mean_runtime] varies with machine load. *)
 
 val report_table1 : scenario list -> string

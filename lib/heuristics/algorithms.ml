@@ -1,58 +1,68 @@
 type t = {
   name : string;
-  solve : Model.Instance.t -> Vp_solver.solution option;
+  solve : ?pool:Par.Pool.t -> Model.Instance.t -> Vp_solver.solution option;
 }
 
-let metagreedy = { name = "METAGREEDY"; solve = Greedy.metagreedy }
+(* Algorithms with no yield binary search ignore the pool. *)
+let no_pool solve ?pool:_ instance = solve instance
+
+let metagreedy = { name = "METAGREEDY"; solve = no_pool Greedy.metagreedy }
 
 let metavp =
   { name = "METAVP";
-    solve = Vp_solver.solve_multi Packing.Strategy.vp_all }
+    solve =
+      (fun ?pool instance ->
+        Vp_solver.solve_multi ?pool Packing.Strategy.vp_all instance) }
 
 let metahvp =
   { name = "METAHVP";
-    solve = Vp_solver.solve_multi Packing.Strategy.hvp_all }
+    solve =
+      (fun ?pool instance ->
+        Vp_solver.solve_multi ?pool Packing.Strategy.hvp_all instance) }
 
 let metahvplight =
   { name = "METAHVPLIGHT";
-    solve = Vp_solver.solve_multi Packing.Strategy.hvp_light }
+    solve =
+      (fun ?pool instance ->
+        Vp_solver.solve_multi ?pool Packing.Strategy.hvp_light instance) }
 
 let rrnd ~seed =
   {
     name = "RRND";
     solve =
-      (fun instance ->
-        Rounding.rrnd ~rng:(Prng.Rng.create ~seed) instance);
+      no_pool (fun instance ->
+          Rounding.rrnd ~rng:(Prng.Rng.create ~seed) instance);
   }
 
 let rrnz ~seed =
   {
     name = "RRNZ";
     solve =
-      (fun instance ->
-        Rounding.rrnz ~rng:(Prng.Rng.create ~seed) instance);
+      no_pool (fun instance ->
+          Rounding.rrnz ~rng:(Prng.Rng.create ~seed) instance);
   }
 
 let exact_milp ?node_limit () =
   {
     name = "MILP";
     solve =
-      (fun instance ->
-        match Milp.solve_exact ?node_limit instance with
-        | Some (Some e) -> Some e.Milp.solution
-        | Some None | None -> None);
+      no_pool (fun instance ->
+          match Milp.solve_exact ?node_limit instance with
+          | Some (Some e) -> Some e.Milp.solution
+          | Some None | None -> None);
   }
 
 let single_vp strategy =
   { name = Packing.Strategy.name strategy;
-    solve = Vp_solver.solve strategy }
+    solve =
+      (fun ?pool instance -> Vp_solver.solve ?pool strategy instance) }
 
 let single_greedy sort place =
   {
     name =
       Printf.sprintf "GREEDY-%s/%s" (Greedy.sort_name sort)
         (Greedy.place_name place);
-    solve = Greedy.solve sort place;
+    solve = no_pool (Greedy.solve sort place);
   }
 
 let majors ~seed =

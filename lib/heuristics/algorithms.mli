@@ -5,8 +5,13 @@
 
 type t = {
   name : string;
-  solve : Model.Instance.t -> Vp_solver.solution option;
+  solve : ?pool:Par.Pool.t -> Model.Instance.t -> Vp_solver.solution option;
 }
+(** [solve ?pool instance]: with a [pool] of size > 1 the binary-search
+    algorithms (METAVP / METAHVP / METAHVPLIGHT and {!single_vp}) run
+    their yield search speculatively over the pool
+    ({!Binary_search.maximize_par}) — the result is bit-identical at any
+    pool size. Algorithms without a yield search ignore the pool. *)
 
 val metagreedy : t
 (** Best of the 49 greedy combinations (§3.4). *)

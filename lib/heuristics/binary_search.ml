@@ -1,10 +1,21 @@
 let default_tolerance = 1e-4
 
-let maximize ?(tolerance = default_tolerance) oracle =
-  if tolerance <= 0. then invalid_arg "Binary_search.maximize: tolerance";
+(* A non-positive tolerance would make the bisection loop non-terminating
+   (the bracket can never become narrower than 0), so it is clamped to the
+   paper's threshold rather than trusted. *)
+let clamp_tolerance tolerance =
+  if tolerance <= 0. then default_tolerance else tolerance
+
+let announce on_round points =
+  match on_round with Some f -> f points | None -> ()
+
+let maximize ?(tolerance = default_tolerance) ?on_round oracle =
+  let tolerance = clamp_tolerance tolerance in
+  announce on_round [| 1. |];
   match oracle 1. with
   | Some sol -> Some (sol, 1.)
   | None -> (
+      announce on_round [| 0. |];
       match oracle 0. with
       | None -> None
       | Some sol0 ->
@@ -12,10 +23,73 @@ let maximize ?(tolerance = default_tolerance) oracle =
           let lo = ref 0. and hi = ref 1. in
           while !hi -. !lo > tolerance do
             let mid = 0.5 *. (!lo +. !hi) in
+            announce on_round [| mid |];
             match oracle mid with
             | Some sol ->
                 best := (sol, mid);
                 lo := mid
             | None -> hi := mid
+          done;
+          Some !best)
+
+(* Depth of the speculative probe tree: the largest m with 2^m - 1
+   candidate points needing at most ceil(log2 (k+1)) levels, i.e. the
+   number of bisection levels one k-domain round can resolve. *)
+let levels_for ~pool_size:k =
+  let rec up m = if 1 lsl m >= k + 1 then m else up (m + 1) in
+  max 1 (up 0)
+
+let maximize_par ?(tolerance = default_tolerance) ?on_round ~pool oracle =
+  let tolerance = clamp_tolerance tolerance in
+  announce on_round [| 1. |];
+  match oracle 1. with
+  | Some sol -> Some (sol, 1.)
+  | None -> (
+      announce on_round [| 0. |];
+      match oracle 0. with
+      | None -> None
+      | Some sol0 ->
+          let levels = levels_for ~pool_size:(Par.Pool.size pool) in
+          let n = (1 lsl levels) - 1 in
+          let best = ref (sol0, 0.) in
+          let lo = ref 0. and hi = ref 1. in
+          (* Candidate yields of one speculative round: the next [levels]
+             levels of the bisection tree below the current bracket, in
+             heap order (children of i at 2i+1 / 2i+2). Every point is
+             computed with the same [0.5 *. (lo +. hi)] arithmetic the
+             sequential loop uses, so the on-path points are bit-identical
+             floats. *)
+          let points = Array.make n 0. in
+          let rec fill i lo hi =
+            if i < n then begin
+              let mid = 0.5 *. (lo +. hi) in
+              points.(i) <- mid;
+              fill ((2 * i) + 1) lo mid;
+              fill ((2 * i) + 2) mid hi
+            end
+          in
+          while !hi -. !lo > tolerance do
+            fill 0 !lo !hi;
+            announce on_round (Array.copy points);
+            let results = Par.Pool.map pool points oracle in
+            (* Resolve the sequential probe path through the speculative
+               results: descend to the upper child on a feasible probe and
+               the lower child otherwise, re-checking the stopping width
+               before consuming each level exactly as the sequential loop
+               checks it before each probe. Off-path results are simply
+               discarded — the oracle is pure, so evaluating them cannot
+               change the outcome. *)
+            let rec resolve i =
+              if i < n && !hi -. !lo > tolerance then
+                match results.(i) with
+                | Some sol ->
+                    best := (sol, points.(i));
+                    lo := points.(i);
+                    resolve ((2 * i) + 2)
+                | None ->
+                    hi := points.(i);
+                    resolve ((2 * i) + 1)
+            in
+            resolve 0
           done;
           Some !best)

@@ -4,15 +4,52 @@
     heuristic doubles as a feasibility oracle for that yield; maximizing the
     minimum yield then reduces to a binary search for the largest yield at
     which the oracle succeeds. The search stops when the bracketing interval
-    is narrower than the paper's threshold 1e-4. *)
+    is narrower than the paper's threshold 1e-4.
+
+    {!maximize_par} is the speculative multi-probe variant: one pool round
+    evaluates the candidate yields of the next few bisection levels
+    concurrently and then resolves the ordinary probe path through the
+    precomputed answers. Because packing oracles are {e not} monotone in the
+    yield (a heuristic can pack at 0.6 yet fail at 0.5), any parallel search
+    that is bit-identical to the sequential one must probe the {e same}
+    points and take the {e same} branch decisions — speculation over the
+    bisection tree is exactly that, trading wasted off-path probes (on
+    otherwise idle domains) for ⌈log₂(k+1)⌉ bracket levels per round. *)
 
 val default_tolerance : float
 (** 1e-4, the paper's threshold. *)
 
 val maximize :
-  ?tolerance:float -> (float -> 'a option) -> ('a * float) option
+  ?tolerance:float ->
+  ?on_round:(float array -> unit) ->
+  (float -> 'a option) ->
+  ('a * float) option
 (** [maximize oracle] probes yields in [0, 1]. Returns the solution produced
     at the highest successful probe together with that yield, or [None] when
     the oracle already fails at yield 0. The oracle is first probed at 1
     (instances with slack can often run everything at full performance),
-    then at 0, then bisected. *)
+    then at 0, then bisected. A non-positive [tolerance] is clamped to
+    {!default_tolerance} (it would otherwise never terminate). [on_round]
+    is called before every oracle round with the yields probed in it —
+    always a singleton here; instrumentation only. *)
+
+val maximize_par :
+  ?tolerance:float ->
+  ?on_round:(float array -> unit) ->
+  pool:Par.Pool.t ->
+  (float -> 'a option) ->
+  ('a * float) option
+(** [maximize_par ~pool oracle] returns bit-identical results to
+    {!maximize} at the same tolerance, in fewer oracle rounds: each round
+    fans the 2^m - 1 candidate yields of the next m = ⌈log₂(size+1)⌉
+    bisection levels over the pool ({!Par.Pool.map}) and walks the
+    sequential probe path through the precomputed results, so the bracket
+    shrinks by 2^m ≥ size+1 per round instead of 2. Identity holds for any
+    {e pure} oracle — candidate points are computed with the sequential
+    midpoint arithmetic, branch decisions replay the sequential ones, and
+    off-path speculative results are discarded. Oracles are evaluated
+    concurrently, so they must be thread-safe as well as pure; if one
+    raises, the first exception (in claim order) is re-raised after the
+    round's in-flight probes finish and the pool remains usable. A pool of
+    size 1 degenerates to the sequential probe sequence exactly. [on_round]
+    is called once per round with the round's candidate yields. *)

@@ -27,13 +27,22 @@ let finish instance = function
   | None -> None
   | Some (placement, _probed_yield) -> evaluate instance placement
 
-let solve ?tolerance strategy instance =
-  Binary_search.maximize ?tolerance (pack_at_yield strategy instance)
+(* Probe oracles are pure (fresh items and bins per call, the instance is
+   read-only), so a pool of size > 1 can run the speculative multi-probe
+   search and still return bit-identical results. *)
+let search ?tolerance ?pool ?on_round oracle =
+  match pool with
+  | Some pool when Par.Pool.size pool > 1 ->
+      Binary_search.maximize_par ?tolerance ?on_round ~pool oracle
+  | Some _ | None -> Binary_search.maximize ?tolerance ?on_round oracle
+
+let solve ?tolerance ?pool ?on_round strategy instance =
+  search ?tolerance ?pool ?on_round (pack_at_yield strategy instance)
   |> finish instance
 
-let solve_multi ?tolerance strategies instance =
+let solve_multi ?tolerance ?pool ?on_round strategies instance =
   let oracle y =
     List.find_map (fun strategy -> pack_at_yield strategy instance y)
       strategies
   in
-  Binary_search.maximize ?tolerance oracle |> finish instance
+  search ?tolerance ?pool ?on_round oracle |> finish instance

@@ -24,20 +24,27 @@ val pack_at_yield :
 
 val solve :
   ?tolerance:float ->
+  ?pool:Par.Pool.t ->
+  ?on_round:(float array -> unit) ->
   Packing.Strategy.t ->
   Model.Instance.t ->
   solution option
-(** Binary-search the yield with a single strategy as oracle. *)
+(** Binary-search the yield with a single strategy as oracle. With a
+    [pool] of size > 1 the search runs {!Binary_search.maximize_par} —
+    same solution bit-for-bit, fewer oracle rounds. [on_round] observes
+    each round's probed yields (instrumentation). *)
 
 val solve_multi :
   ?tolerance:float ->
+  ?pool:Par.Pool.t ->
+  ?on_round:(float array -> unit) ->
   Packing.Strategy.t list ->
   Model.Instance.t ->
   solution option
 (** Binary-search where each probe tries the strategies in order and
     succeeds as soon as one packs — the META* construction (§3.5.3,
     §3.5.5). The achieved minimum yield is evaluated on the final
-    placement. *)
+    placement. [pool] / [on_round] as in {!solve}. *)
 
 val evaluate : Model.Instance.t -> Model.Placement.t -> solution option
 (** Water-fill a placement into a [solution] (shared by greedy and rounding

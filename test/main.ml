@@ -8,6 +8,7 @@ let () =
       ("codec", Test_codec.suite);
       ("packing", Test_packing.suite);
       ("heuristics", Test_heuristics.suite);
+      ("binary-search-diff", Test_binary_search_diff.suite);
       ("greedy-criteria", Test_greedy_criteria.suite);
       ("workload", Test_workload.suite);
       ("sharing", Test_sharing.suite);

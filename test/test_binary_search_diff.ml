@@ -1,0 +1,269 @@
+(* Differential lock-down of the speculative k-probe yield search:
+   [Binary_search.maximize_par] must return bit-identical results to
+   [maximize] — same Some/None, same placement, same yield to the last
+   bit — for real packing oracles at every pool size, including the
+   infeasible-at-0 and feasible-at-1 fast paths; and it must win its
+   speed-up in oracle *rounds* without ever needing more rounds than the
+   sequential search needs probes. *)
+
+module BS = Heuristics.Binary_search
+
+let with_pool = Par.Pool.with_pool
+
+(* One packing oracle per base algorithm of the paper: FF, BF, PP, CP. *)
+let oracle_strategies =
+  let open Packing.Strategy in
+  let pp flavour =
+    Permutation_pack { flavour; window = None }
+  in
+  [
+    ("FF",
+     { algo = First_fit; item_order = Vec.Metric.(Desc (Scalar Sum));
+       bin_order = Vec.Metric.Unsorted; variant = Vp });
+    ("BF",
+     { algo = Best_fit; item_order = Vec.Metric.(Desc (Scalar Max));
+       bin_order = Vec.Metric.Unsorted; variant = Hvp });
+    ("PP",
+     { algo = pp Packing.Permutation_pack.Permutation;
+       item_order = Vec.Metric.(Desc (Scalar Max_ratio));
+       bin_order = Vec.Metric.(Asc Lex); variant = Hvp });
+    ("CP",
+     { algo = pp Packing.Permutation_pack.Choose;
+       item_order = Vec.Metric.(Desc (Scalar Max_difference));
+       bin_order = Vec.Metric.Unsorted; variant = Vp });
+  ]
+
+let gen_instance ~seed ~hosts ~services ~slack =
+  Workload.Generator.generate
+    ~rng:(Prng.Rng.create ~seed)
+    {
+      Workload.Generator.hosts;
+      services;
+      cov = 0.5;
+      slack;
+      cpu_homogeneous = false;
+      mem_homogeneous = false;
+    }
+
+(* ~50 instances spanning easy, mid, and hard-to-infeasible (slack 0.05)
+   regimes, plus the paper's Fig. 1 instance — whose lone service runs at
+   full performance on node B, pinning the feasible-at-1 fast path on real
+   packing oracles (the generator never produces slack that loose). *)
+let instance_fig1 =
+  Model.Instance.v
+    ~nodes:
+      [|
+        Model.Node.make_cores ~id:0 ~cores:4 ~cpu:3.2 ~mem:1.0;
+        Model.Node.make_cores ~id:1 ~cores:2 ~cpu:2.0 ~mem:0.5;
+      |]
+    ~services:
+      [|
+        Model.Service.make_2d ~id:0 ~cpu_req:(0.5, 1.0) ~mem_req:0.5
+          ~cpu_need:(0.5, 1.0) ();
+      |]
+
+let corpus =
+  let slacks = [| 0.05; 0.2; 0.35; 0.5; 0.7; 0.9 |] in
+  (-1, instance_fig1)
+  :: List.init 50 (fun seed ->
+         let hosts = 2 + (seed mod 5) in
+         let services = 3 + (seed * 3 mod 16) in
+         let slack = slacks.(seed mod Array.length slacks) in
+         (seed, gen_instance ~seed ~hosts ~services ~slack))
+
+let check_identical msg seq par =
+  match (seq, par) with
+  | None, None -> ()
+  | Some (p1, y1), Some (p2, y2) ->
+      if p1 <> p2 then Alcotest.failf "%s: placements differ" msg;
+      if Int64.bits_of_float y1 <> Int64.bits_of_float y2 then
+        Alcotest.failf "%s: yields differ (%.17g vs %.17g)" msg y1 y2
+  | Some _, None -> Alcotest.failf "%s: sequential Some, parallel None" msg
+  | None, Some _ -> Alcotest.failf "%s: sequential None, parallel Some" msg
+
+let pool_sizes () =
+  (* 1 = the degenerate sequential path; 2 and 4 exercise speculation
+     depths 2 and 3. The env-derived size makes the CI
+     VMALLOC_DOMAINS={1,2} matrix leg vary what this suite runs. *)
+  let env = min 4 (Par.Pool.domains_from_env ()) in
+  List.sort_uniq compare [ 1; 2; 4; env ]
+
+let test_differential_packing_oracles () =
+  let feasible = ref 0 and infeasible = ref 0 and at_one = ref 0 in
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun pool ->
+          List.iter
+            (fun (seed, inst) ->
+              List.iter
+                (fun (oname, strategy) ->
+                  let oracle = Heuristics.Vp_solver.pack_at_yield strategy inst in
+                  let seq = BS.maximize oracle in
+                  let par = BS.maximize_par ~pool oracle in
+                  (match seq with
+                  | None -> incr infeasible
+                  | Some (_, y) ->
+                      incr feasible;
+                      if y = 1. then incr at_one);
+                  check_identical
+                    (Printf.sprintf "seed %d, %s oracle, %d domains" seed
+                       oname domains)
+                    seq par)
+                oracle_strategies)
+            corpus))
+    (pool_sizes ());
+  (* The sweep must genuinely cover all three outcome classes. *)
+  Alcotest.(check bool) "sweep hit feasible instances" true (!feasible > 0);
+  Alcotest.(check bool) "sweep hit infeasible-at-0 instances" true
+    (!infeasible > 0);
+  Alcotest.(check bool) "sweep hit feasible-at-1 instances" true (!at_one > 0)
+
+(* The two fast paths, pinned deterministically (no reliance on what the
+   generator happens to produce), plus non-default tolerances. *)
+let test_differential_fast_paths () =
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun pool ->
+          check_identical "always-feasible oracle"
+            (BS.maximize (fun y -> Some y))
+            (BS.maximize_par ~pool (fun y -> Some y));
+          check_identical "never-feasible oracle"
+            (BS.maximize (fun _ -> None))
+            (BS.maximize_par ~pool (fun _ -> None));
+          List.iter
+            (fun tolerance ->
+              let target = 0.37 in
+              let oracle y = if y <= target then Some y else None in
+              check_identical
+                (Printf.sprintf "threshold oracle, tolerance %g" tolerance)
+                (BS.maximize ~tolerance oracle)
+                (BS.maximize_par ~tolerance ~pool oracle))
+            (* 0. exercises the non-positive clamp on both sides. *)
+            [ 1e-2; 1e-3; 3e-4; 0. ]))
+    (pool_sizes ())
+
+(* Round/probe regression: with a k-domain pool each Pool.map round resolves
+   ⌈log₂(k+1)⌉ bisection levels, so the number of oracle rounds (the
+   latency-critical serial steps; counted via [on_round]) must never exceed
+   the sequential probe count and must meet the ⌈log_{k+1}(1/tol)⌉ + 2
+   bound. The oracle call counter additionally checks the speculative
+   fan-out stays within one tree per round: per-round batches have at most
+   2k - 1 probes. *)
+
+let round_bound ~k ~tolerance =
+  let inv = 1. /. tolerance in
+  let rec go rounds reach =
+    if reach >= inv then rounds else go (rounds + 1) (reach *. float_of_int (k + 1))
+  in
+  go 0 1. + 2
+
+let test_round_regression () =
+  let tolerances = [ 1e-2; 1e-3; BS.default_tolerance ] in
+  let target = 0.37 in
+  List.iter
+    (fun k ->
+      with_pool ~domains:k (fun pool ->
+          List.iter
+            (fun tolerance ->
+              let calls = ref 0 in
+              let oracle y =
+                incr calls;
+                if y <= target then Some y else None
+              in
+              let seq_probes = ref 0 in
+              ignore
+                (BS.maximize ~tolerance
+                   ~on_round:(fun _ -> incr seq_probes)
+                   oracle);
+              Alcotest.(check int)
+                (Printf.sprintf "sequential rounds = oracle calls (tol %g)"
+                   tolerance)
+                !calls !seq_probes;
+              let par_rounds = ref 0 in
+              let max_batch = ref 0 in
+              ignore
+                (BS.maximize_par ~tolerance ~pool
+                   ~on_round:(fun batch ->
+                     incr par_rounds;
+                     max_batch := max !max_batch (Array.length batch))
+                   oracle);
+              let msg fmt =
+                Printf.ksprintf
+                  (fun s -> Printf.sprintf "%s (k=%d, tol %g)" s k tolerance)
+                  fmt
+              in
+              Alcotest.(check bool)
+                (msg "par rounds %d <= seq probes %d" !par_rounds !seq_probes)
+                true
+                (!par_rounds <= !seq_probes);
+              Alcotest.(check bool)
+                (msg "par rounds %d <= bound %d" !par_rounds
+                   (round_bound ~k ~tolerance))
+                true
+                (!par_rounds <= round_bound ~k ~tolerance);
+              Alcotest.(check bool)
+                (msg "batch size %d <= 2k-1" !max_batch)
+                true
+                (!max_batch <= max 1 ((2 * k) - 1)))
+            tolerances))
+    [ 1; 2; 4 ]
+
+(* The same regression on a real packing search end-to-end: METAHVPLIGHT's
+   multi-strategy oracle on an instance whose optimum lies strictly inside
+   (0, 1), so the full bisection runs. *)
+let test_round_regression_packing () =
+  let inst = gen_instance ~seed:7 ~hosts:5 ~services:14 ~slack:0.35 in
+  let strategies = Packing.Strategy.hvp_light in
+  let seq_probes = ref 0 in
+  let seq =
+    Heuristics.Vp_solver.solve_multi
+      ~on_round:(fun _ -> incr seq_probes)
+      strategies inst
+  in
+  (match seq with
+  | Some sol when sol.min_yield > 0. && sol.min_yield < 1. -> ()
+  | Some _ -> Alcotest.fail "expected an interior optimum (fast path hit)"
+  | None -> Alcotest.fail "expected a feasible instance");
+  List.iter
+    (fun k ->
+      with_pool ~domains:k (fun pool ->
+          let par_rounds = ref 0 in
+          let par =
+            Heuristics.Vp_solver.solve_multi ~pool
+              ~on_round:(fun _ -> incr par_rounds)
+              strategies inst
+          in
+          (match (seq, par) with
+          | Some a, Some b ->
+              Alcotest.(check bool)
+                (Printf.sprintf "same placement (k=%d)" k)
+                true
+                (a.placement = b.placement
+                && Int64.bits_of_float a.min_yield
+                   = Int64.bits_of_float b.min_yield)
+          | _ -> Alcotest.fail "Some/None disagreement");
+          Alcotest.(check bool)
+            (Printf.sprintf "METAHVPLIGHT rounds %d <= seq probes %d (k=%d)"
+               !par_rounds !seq_probes k)
+            true
+            (!par_rounds <= !seq_probes);
+          Alcotest.(check bool)
+            (Printf.sprintf "METAHVPLIGHT rounds %d within bound %d (k=%d)"
+               !par_rounds
+               (round_bound ~k ~tolerance:BS.default_tolerance)
+               k)
+            true
+            (!par_rounds <= round_bound ~k ~tolerance:BS.default_tolerance))
+        )
+    [ 2; 4 ]
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("maximize_par = maximize on FF/BF/PP/CP oracles",
+       test_differential_packing_oracles);
+      ("maximize_par fast paths and tolerances", test_differential_fast_paths);
+      ("round count: bound and <= sequential probes", test_round_regression);
+      ("round count on a packing search", test_round_regression_packing);
+    ]

@@ -52,10 +52,23 @@ let test_binary_search_zero_fail () =
   Alcotest.(check bool) "failure at 0 propagates" true
     (Heuristics.Binary_search.maximize (fun _ -> None) = None)
 
-let test_binary_search_invalid_tolerance () =
-  Alcotest.check_raises "tolerance"
-    (Invalid_argument "Binary_search.maximize: tolerance") (fun () ->
-      ignore (Heuristics.Binary_search.maximize ~tolerance:0. (fun _ -> Some ())))
+(* A non-positive tolerance must be clamped to the default, not trusted:
+   with the bracket never allowed to close, [~tolerance:0.] would bisect
+   forever. The oracle below fails at 1 so the search cannot take the
+   feasible-at-1 shortcut — it has to run (and terminate) the loop. *)
+let test_binary_search_nonpositive_tolerance_clamped () =
+  let target = 0.37 in
+  let oracle y = if y <= target then Some y else None in
+  let expected = Heuristics.Binary_search.maximize oracle in
+  List.iter
+    (fun tolerance ->
+      match (Heuristics.Binary_search.maximize ~tolerance oracle, expected) with
+      | Some (_, y), Some (_, y') ->
+          check_float
+            (Printf.sprintf "tolerance %g clamped to default" tolerance)
+            y' y
+      | _ -> Alcotest.fail "should terminate and succeed")
+    [ 0.; -1e-6; neg_infinity ]
 
 (* VP solver on Fig. 1: the only service should land on node B with yield
    1. *)
@@ -350,7 +363,8 @@ let suite =
       ("binary search reaches 1", test_binary_search_exact_one);
       ("binary search threshold", test_binary_search_threshold);
       ("binary search fails at 0", test_binary_search_zero_fail);
-      ("binary search tolerance validation", test_binary_search_invalid_tolerance);
+      ("binary search clamps non-positive tolerance",
+       test_binary_search_nonpositive_tolerance_clamped);
       ("vp solver on Fig. 1", test_vp_solver_fig1);
       ("items at yield", test_items_at_yield);
       ("greedy 49 combinations", test_greedy_counts);
