@@ -5,7 +5,7 @@
    Usage:  dune exec bench/main.exe [-- section ...]
    Sections: table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 figfamilies
              successrate ranking hvplight theorem ablation online parbench
-             probepar micro (default: all).
+             probepar obs micro (default: all).
    Scale: VMALLOC_SCALE=small|medium|paper (default small).
    Parallelism: VMALLOC_DOMAINS=N (default: recommended domain count;
    1 = legacy sequential path). Results are bit-for-bit independent of N;
@@ -48,6 +48,14 @@ type probe_comparison = {
 }
 
 let probe_comparisons : probe_comparison list ref = ref []
+
+(* Per-algorithm operation counts recorded by the obs section, as
+   (algorithm, Snapshot JSON) pairs in run order. *)
+let obs_snapshots : (string * string) list ref = ref []
+
+(* METAHVP wall time with the metric sinks disabled vs enabled — the
+   zero-overhead-when-disabled check. *)
+let obs_overhead : (float * float) option ref = ref None
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -103,10 +111,70 @@ let write_bench_par_json ~scale_label ~total path =
         p.p_seq_s p.p_par_s
         (if i < List.length ps - 1 then "," else ""))
     ps;
-  out "  ]\n";
+  out "  ],\n";
+  out "  \"obs\": {\n";
+  out "    \"per_algorithm\": [\n";
+  let snaps = List.rev !obs_snapshots in
+  List.iteri
+    (fun i (name, json) ->
+      out "      {\"algorithm\": \"%s\", \"metrics\": %s}%s\n"
+        (json_escape name) json
+        (if i < List.length snaps - 1 then "," else ""))
+    snaps;
+  out "    ],\n";
+  (match !obs_overhead with
+  | Some (disabled_s, enabled_s) ->
+      out
+        "    \"overhead\": {\"algorithm\": \"METAHVP\", \"disabled_seconds\": \
+         %.4f, \"enabled_seconds\": %.4f, \"enabled_over_disabled\": %.3f}\n"
+        disabled_s enabled_s
+        (if disabled_s > 0. then enabled_s /. disabled_s else 0.)
+  | None -> out "    \"overhead\": null\n");
+  out "  }\n";
   out "}\n";
   close_out oc;
   Printf.eprintf "[bench] wrote %s\n%!" path
+
+(* Satellite: keep a local record of every bench run. The current
+   BENCH_par.json is copied to bench/history/<git-rev>-<n>.json (smallest
+   unused n), and the history path goes to stderr with the other
+   run-varying output. *)
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "norev"
+  with _ -> "norev"
+
+let persist_history path =
+  try
+    let mkdir d =
+      try Unix.mkdir d 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    in
+    mkdir "bench";
+    let dir = Filename.concat "bench" "history" in
+    mkdir dir;
+    let rev = git_rev () in
+    let rec pick n =
+      let candidate =
+        Filename.concat dir (Printf.sprintf "%s-%d.json" rev n)
+      in
+      if Sys.file_exists candidate then pick (n + 1) else candidate
+    in
+    let dest = pick 0 in
+    let ic = open_in_bin path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let oc = open_out_bin dest in
+    output_string oc contents;
+    close_out oc;
+    Printf.eprintf "[bench] bench history: %s\n%!" dest
+  with e ->
+    Printf.eprintf "[bench] bench history skipped: %s\n%!"
+      (Printexc.to_string e)
 
 (* Table 1 / Table 2 share their (expensive) runs. *)
 let table_runs = ref None
@@ -225,6 +293,69 @@ let run_probe_par () =
       ("METAHVPLIGHT", Packing.Strategy.hvp_light);
     ];
   Stats.Table.print table
+
+(* Per-algorithm operation counts on one mid-size instance (the probepar
+   corpus point), plus the disabled-sink overhead check. The counter
+   snapshots are deterministic — sequential solves, no probe pool — so they
+   print to stdout; the overhead wall times go to stderr and
+   BENCH_par.json. *)
+let run_obs () =
+  section_header "Observability: per-algorithm operation counts";
+  let inst =
+    Experiments.Corpus.instance
+      {
+        Experiments.Corpus.hosts = 10;
+        services = 40;
+        cov = 0.5;
+        slack = 0.4;
+        cpu_homogeneous = false;
+        mem_homogeneous = false;
+        rep = 0;
+      }
+  in
+  let was_enabled = Obs.Metrics.enabled () in
+  Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled was_enabled)
+  @@ fun () ->
+  let algorithms =
+    Heuristics.Algorithms.majors ~seed:1
+    @ [ Heuristics.Algorithms.metahvplight ]
+  in
+  List.iter
+    (fun (algo : Heuristics.Algorithms.t) ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ();
+      Obs.Metrics.set_enabled true;
+      ignore (algo.solve inst);
+      Obs.Metrics.set_enabled false;
+      let snap = Obs.Metrics.snapshot () in
+      obs_snapshots :=
+        (algo.name, Obs.Metrics.Snapshot.to_json snap) :: !obs_snapshots;
+      Printf.printf "-- %s --\n%s" algo.name
+        (Obs.Metrics.Snapshot.render snap))
+    algorithms;
+  (* Disabled-path overhead: every instrumentation call is one atomic load
+     and branch, so enabled-vs-disabled wall time on the most heavily
+     instrumented solver should be within run-to-run noise. Best of 3 per
+     arm to damp that noise. *)
+  let time_solve () =
+    let t0 = Unix.gettimeofday () in
+    ignore (Heuristics.Algorithms.metahvp.solve inst);
+    Unix.gettimeofday () -. t0
+  in
+  let best_of_3 () =
+    List.fold_left (fun acc _ -> min acc (time_solve ())) infinity [ 1; 2; 3 ]
+  in
+  Obs.Metrics.set_enabled false;
+  let disabled_s = best_of_3 () in
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  let enabled_s = best_of_3 () in
+  obs_overhead := Some (disabled_s, enabled_s);
+  Printf.eprintf
+    "[bench] obs overhead (METAHVP, best of 3): disabled %.3fs  enabled \
+     %.3fs  (ratio %.3f)\n%!"
+    disabled_s enabled_s
+    (if disabled_s > 0. then enabled_s /. disabled_s else 0.)
 
 let run_table1 scale =
   section_header "Table 1: pairwise comparison of major heuristics";
@@ -419,7 +550,7 @@ let all_sections =
   [
     "table1"; "table2"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
     "figfamilies"; "successrate"; "ranking"; "hvplight"; "theorem";
-    "ablation"; "online"; "parbench"; "probepar";
+    "ablation"; "online"; "parbench"; "probepar"; "obs";
     "micro";
   ]
 
@@ -481,6 +612,7 @@ let () =
       | "ablation" -> run_ablation ()
       | "parbench" -> run_parbench scale
       | "probepar" -> run_probe_par ()
+      | "obs" -> run_obs ()
       | "micro" -> run_micro ()
       | other -> Printf.eprintf "unknown section %S (skipped)\n" other)
     requested;
@@ -488,4 +620,5 @@ let () =
   Printf.eprintf "[bench] total bench time: %.1fs\n%!" total;
   write_bench_par_json ~scale_label:scale.Experiments.Scale.label ~total
     "BENCH_par.json";
+  persist_history "BENCH_par.json";
   Option.iter Par.Pool.shutdown !pool

@@ -119,15 +119,38 @@ let generate_cmd =
 
 (* solve *)
 
-let resolve_domains = function
-  | 0 -> Experiments.Scale.domains_from_env ()
-  | d -> max 1 d
+(* [--domains 0] is the documented "read $VMALLOC_DOMAINS" sentinel;
+   anything negative is a usage error, reported on one line with nonzero
+   exit rather than silently clamped. *)
+let check_domains = function
+  | 0 -> Ok (Experiments.Scale.domains_from_env ())
+  | d when d > 0 -> Ok d
+  | d ->
+      Error
+        (Printf.sprintf
+           "--domains %d: the domain count must be positive (or 0 to read \
+            $VMALLOC_DOMAINS)"
+           d)
+
+let unknown_algorithm name =
+  Printf.sprintf "unknown algorithm %S (valid: %s)" name
+    (String.concat ", " Heuristics.Algorithms.valid_names)
 
 let algo_term =
   Arg.(value & opt string "metahvplight"
        & info [ "algo" ] ~docv:"NAME"
            ~doc:"Algorithm: rrnd, rrnz, metagreedy, metavp, metahvp, \
                  metahvplight, or milp (exact, small instances only).")
+
+let stats_term =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Collect the deterministic operation counters (oracle \
+                 probes, strategy wins, bins examined, ...) during the run \
+                 and print the merged snapshot after the result.")
+
+let print_stats () =
+  print_string (Obs.Metrics.Snapshot.render (Obs.Metrics.snapshot ()))
 
 let solve_cmd =
   let verbose =
@@ -142,42 +165,67 @@ let solve_cmd =
                    recommended domain count; 1 = sequential). The result \
                    is bit-identical at any value.")
   in
-  let run file opts algo_name verbose domains =
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record a span trace of the solve and write it to \
+                   $(docv) in Chrome trace-event JSON (open in \
+                   chrome://tracing or Perfetto).")
+  in
+  let run file opts algo_name verbose domains stats trace =
     match load_or_generate file opts with
     | Error e -> `Error (false, e)
     | Ok inst -> (
         match Heuristics.Algorithms.by_name ~seed:opts.seed algo_name with
-        | None -> `Error (false, "unknown algorithm: " ^ algo_name)
+        | None -> `Error (false, unknown_algorithm algo_name)
         | Some algo -> (
-            let domains = resolve_domains domains in
-            let solve () =
-              if domains > 1 then
-                Par.Pool.with_pool ~domains (fun pool -> algo.solve ~pool inst)
-              else algo.solve inst
-            in
-            let t0 = Sys.time () in
-            match solve () with
-            | None ->
-                Printf.printf "%s: no feasible placement (%.3fs)\n" algo.name
-                  (Sys.time () -. t0);
-                `Ok ()
-            | Some sol ->
-                Printf.printf "%s: minimum yield %.4f (%.3fs)\n" algo.name
-                  sol.min_yield (Sys.time () -. t0);
-                if verbose then begin
-                  match Model.Placement.water_fill inst sol.placement with
-                  | None -> ()
-                  | Some alloc ->
-                      print_string (Model.Report.render inst alloc)
+            match check_domains domains with
+            | Error e -> `Error (false, e)
+            | Ok domains ->
+                if stats then begin
+                  Obs.Metrics.reset ();
+                  Obs.Metrics.set_enabled true
                 end;
+                if trace <> None then Obs.Trace.start ();
+                let solve () =
+                  if domains > 1 then
+                    Par.Pool.with_pool ~domains (fun pool ->
+                        algo.solve ~pool inst)
+                  else algo.solve inst
+                in
+                let t0 = Sys.time () in
+                let result = solve () in
+                let dt = Sys.time () -. t0 in
+                (match result with
+                | None ->
+                    Printf.printf "%s: no feasible placement (%.3fs)\n"
+                      algo.name dt
+                | Some sol ->
+                    Printf.printf "%s: minimum yield %.4f (%.3fs)\n" algo.name
+                      sol.min_yield dt;
+                    if verbose then begin
+                      match Model.Placement.water_fill inst sol.placement with
+                      | None -> ()
+                      | Some alloc ->
+                          print_string (Model.Report.render inst alloc)
+                    end);
+                if stats then print_stats ();
+                (match trace with
+                | None -> ()
+                | Some path ->
+                    Obs.Trace.stop ();
+                    Obs.Trace.write path;
+                    Printf.eprintf "wrote trace %s (%d events)\n%!" path
+                      (Obs.Trace.event_count ()));
                 `Ok ()))
   in
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Place services with one algorithm (--domains > 1 runs the \
-             yield search's probes in parallel).")
+             yield search's probes in parallel; --stats / --trace observe \
+             the run).")
     Term.(ret (const run $ instance_file_term $ gen_opts_term $ algo_term
-               $ verbose $ domains))
+               $ verbose $ domains $ stats_term $ trace))
 
 (* compare *)
 
@@ -189,40 +237,53 @@ let domains_term =
                  recommended domain count; 1 = sequential).")
 
 let compare_cmd =
-  let run file opts domains =
+  let run file opts domains stats =
     match load_or_generate file opts with
     | Error e -> `Error (false, e)
-    | Ok inst ->
-        let table =
-          Stats.Table.create ~headers:[ "algorithm"; "min yield"; "time (s)" ]
-        in
-        let all =
-          Array.of_list
-            (Heuristics.Algorithms.majors ~seed:opts.seed
-            @ [ Heuristics.Algorithms.metahvplight ])
-        in
-        (* One task per algorithm; rows land in registry order either way. *)
-        let rows =
-          Par.Pool.with_pool ~domains:(resolve_domains domains) (fun pool ->
-              Par.Pool.map pool all (fun (algo : Heuristics.Algorithms.t) ->
-                  let t0 = Unix.gettimeofday () in
-                  let cell =
-                    match algo.solve inst with
-                    | Some sol -> Printf.sprintf "%.4f" sol.min_yield
-                    | None -> "fail"
-                  in
-                  [ algo.name; cell;
-                    Printf.sprintf "%.3f" (Unix.gettimeofday () -. t0) ]))
-        in
-        Array.iter (Stats.Table.add_row table) rows;
-        Stats.Table.print table;
-        `Ok ()
+    | Ok inst -> (
+        match check_domains domains with
+        | Error e -> `Error (false, e)
+        | Ok domains ->
+            if stats then begin
+              Obs.Metrics.reset ();
+              Obs.Metrics.set_enabled true
+            end;
+            let table =
+              Stats.Table.create
+                ~headers:[ "algorithm"; "min yield"; "time (s)" ]
+            in
+            let all =
+              Array.of_list
+                (Heuristics.Algorithms.majors ~seed:opts.seed
+                @ [ Heuristics.Algorithms.metahvplight ])
+            in
+            (* One task per algorithm; rows — and, with [--stats], the
+               per-task metric sinks — land in registry order either way. *)
+            let rows =
+              Par.Pool.with_pool ~domains (fun pool ->
+                  Par.Pool.map pool all
+                    (fun (algo : Heuristics.Algorithms.t) ->
+                      let t0 = Unix.gettimeofday () in
+                      let cell =
+                        match algo.solve inst with
+                        | Some sol -> Printf.sprintf "%.4f" sol.min_yield
+                        | None -> "fail"
+                      in
+                      [ algo.name; cell;
+                        Printf.sprintf "%.3f" (Unix.gettimeofday () -. t0) ]))
+            in
+            Array.iter (Stats.Table.add_row table) rows;
+            Stats.Table.print table;
+            if stats then print_stats ();
+            `Ok ())
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Run the paper's major algorithms on one instance (in parallel \
-             with --domains > 1).")
-    Term.(ret (const run $ instance_file_term $ gen_opts_term $ domains_term))
+             with --domains > 1; --stats prints the merged operation \
+             counters).")
+    Term.(ret (const run $ instance_file_term $ gen_opts_term $ domains_term
+               $ stats_term))
 
 (* inspect *)
 

@@ -16,6 +16,15 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* One trial = one instance solved by both algorithms; the spans record
+   the per-algorithm half so the METAHVP-vs-LIGHT cost gap shows up in a
+   trace viewer, not just in the mean wall times. *)
+let c_trials = Obs.Metrics.counter "experiments.light.trials"
+
+let solve_traced name (algo : Heuristics.Algorithms.t) ?pool inst =
+  Obs.Trace.span "trial" ~args:[ ("algorithm", name) ] @@ fun () ->
+  timed (fun () -> algo.solve ?pool inst)
+
 let run ?(progress = fun _ -> ()) ?pool (scale : Scale.t) =
   let instances =
     Corpus.sweep ~hosts:scale.light_hosts ~services:scale.light_services
@@ -32,11 +41,13 @@ let run ?(progress = fun _ -> ()) ?pool (scale : Scale.t) =
     (fun i (_, inst) ->
       (* The pool accelerates each solve from the inside (speculative
          yield probes) — bit-identical results, fewer oracle rounds. *)
+      Obs.Metrics.incr c_trials;
       let hvp, t_hvp =
-        timed (fun () -> Heuristics.Algorithms.metahvp.solve ?pool inst)
+        solve_traced "METAHVP" Heuristics.Algorithms.metahvp ?pool inst
       in
       let light, t_light =
-        timed (fun () -> Heuristics.Algorithms.metahvplight.solve ?pool inst)
+        solve_traced "METAHVPLIGHT" Heuristics.Algorithms.metahvplight ?pool
+          inst
       in
       time_hvp := !time_hvp +. t_hvp;
       time_light := !time_light +. t_light;

@@ -12,6 +12,12 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* One trial = one (instance, algorithm) solve. The counter totals are
+   domain-count-invariant (trials do identical work wherever they run);
+   the trace spans carry the per-trial record — algorithm, scenario size,
+   outcome — stamped with the executing domain. *)
+let c_trials = Obs.Metrics.counter "experiments.table1.trials"
+
 let run ?(progress = fun _ -> ()) ?pool ?probe_pool (scale : Scale.t) =
   let algorithms = Array.of_list (Heuristics.Algorithms.majors ~seed:1) in
   List.map
@@ -40,7 +46,12 @@ let run ?(progress = fun _ -> ()) ?pool ?probe_pool (scale : Scale.t) =
         Run.map ?pool instances (fun (_, inst) ->
             Array.map
               (fun (algo : Heuristics.Algorithms.t) ->
-                timed (fun () -> algo.solve ?pool:probe_pool inst))
+                Obs.Metrics.incr c_trials;
+                Obs.Trace.span "trial"
+                  ~args:
+                    [ ("algorithm", algo.name);
+                      ("services", string_of_int services) ]
+                  (fun () -> timed (fun () -> algo.solve ?pool:probe_pool inst)))
               algorithms)
       in
       let yields = Array.map (fun _ -> Array.make n None) algorithms in

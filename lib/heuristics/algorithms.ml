@@ -68,6 +68,9 @@ let single_greedy sort place =
 let majors ~seed =
   [ rrnd ~seed; rrnz ~seed; metagreedy; metavp; metahvp ]
 
+let valid_names =
+  [ "rrnd"; "rrnz"; "metagreedy"; "metavp"; "metahvp"; "metahvplight"; "milp" ]
+
 let by_name ~seed name =
   match String.uppercase_ascii name with
   | "RRND" -> Some (rrnd ~seed)

@@ -43,6 +43,11 @@ val majors : seed:int -> t list
 (** The five algorithms of Table 1: RRND, RRNZ, METAGREEDY, METAVP,
     METAHVP, in that order. *)
 
+val valid_names : string list
+(** The names {!by_name} accepts, lowercase, in registry order — for error
+    messages and help text. *)
+
 val by_name : seed:int -> string -> t option
 (** Look up any registry algorithm by its name (case-insensitive); accepts
-    the five majors plus ["METAHVPLIGHT"] and ["MILP"]. *)
+    the five majors plus ["METAHVPLIGHT"] and ["MILP"] (see
+    {!valid_names}). *)

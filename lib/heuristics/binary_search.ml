@@ -6,7 +6,19 @@ let default_tolerance = 1e-4
 let clamp_tolerance tolerance =
   if tolerance <= 0. then default_tolerance else tolerance
 
+(* Every oracle round passes through [announce], so the round/probe
+   counters live here: one round per call, one probe per candidate point
+   (the pooled search evaluates the whole batch). *)
+let c_rounds = Obs.Metrics.counter "binary_search.rounds"
+let c_probes = Obs.Metrics.counter "binary_search.probes"
+
+(* Speculative probes evaluated by [maximize_par] that the sequential
+   probe path never consumes — the price of the k-probe speedup. *)
+let c_waste = Obs.Metrics.counter "binary_search.speculative_waste"
+
 let announce on_round points =
+  Obs.Metrics.incr c_rounds;
+  Obs.Metrics.add c_probes (Array.length points);
   match on_round with Some f -> f points | None -> ()
 
 let maximize ?(tolerance = default_tolerance) ?on_round oracle =
@@ -79,8 +91,10 @@ let maximize_par ?(tolerance = default_tolerance) ?on_round ~pool oracle =
                checks it before each probe. Off-path results are simply
                discarded — the oracle is pure, so evaluating them cannot
                change the outcome. *)
+            let consumed = ref 0 in
             let rec resolve i =
-              if i < n && !hi -. !lo > tolerance then
+              if i < n && !hi -. !lo > tolerance then begin
+                incr consumed;
                 match results.(i) with
                 | Some sol ->
                     best := (sol, points.(i));
@@ -89,7 +103,9 @@ let maximize_par ?(tolerance = default_tolerance) ?on_round ~pool oracle =
                 | None ->
                     hi := points.(i);
                     resolve ((2 * i) + 1)
+              end
             in
-            resolve 0
+            resolve 0;
+            Obs.Metrics.add c_waste (n - !consumed)
           done;
           Some !best)

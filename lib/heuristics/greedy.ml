@@ -39,6 +39,12 @@ let sort_services strategy services =
       Array.stable_sort (fun a b -> Float.compare (key b) (key a)) services);
   services
 
+(* One candidate evaluation = one feasibility check of (service, node);
+   the score is only computed for feasible candidates, so the feasibility
+   checks are the greedy inner-loop's unit of work. *)
+let c_candidates = Obs.Metrics.counter "greedy.candidate_evals"
+let c_placements = Obs.Metrics.counter "greedy.placements"
+
 (* Mutable per-node placement state. *)
 type node_state = {
   node : Model.Node.t;
@@ -132,6 +138,7 @@ let place sort_strategy place_strategy instance =
   in
   let place_one (s : Model.Service.t) =
     let best = ref (-1) and best_score = ref infinity in
+    Obs.Metrics.add c_candidates (Array.length states);
     Array.iteri
       (fun h state ->
         if feasible state s then begin
@@ -143,6 +150,7 @@ let place sort_strategy place_strategy instance =
         end)
       states;
     if !best >= 0 then begin
+      Obs.Metrics.incr c_placements;
       commit states.(!best) s;
       placement.(s.Model.Service.id) <- !best;
       true

@@ -18,6 +18,57 @@ let pack_at_yield strategy instance y =
   let bins = fresh_bins instance in
   Packing.Strategy.run strategy ~bins ~items
 
+(* Oracle-level observability: how many fixed-yield probes a solve costs,
+   how many strategy attempts each probe burns before one packs, and which
+   strategy actually wins (the question behind METAHVP's 253-strategy
+   bill). Counting is keyed off strategy identity only, so totals are
+   deterministic for a fixed amount of performed work. *)
+let c_oracle = Obs.Metrics.counter "vp_solver.oracle_calls"
+let c_feasible = Obs.Metrics.counter "vp_solver.oracle_feasible"
+let c_attempts = Obs.Metrics.counter "vp_solver.strategy_attempts"
+let h_win_index = Obs.Metrics.histogram "vp_solver.strategies_per_win"
+
+let win_counter strategy =
+  Obs.Metrics.counter ("vp_solver.win." ^ Packing.Strategy.name strategy)
+
+let probe_args y = [ ("y", Printf.sprintf "%.6f" y) ]
+
+let probe_single strategy instance y =
+  Obs.Trace.span "probe" ~args:(probe_args y) @@ fun () ->
+  Obs.Metrics.incr c_oracle;
+  Obs.Metrics.incr c_attempts;
+  match pack_at_yield strategy instance y with
+  | None -> None
+  | Some placement ->
+      if Obs.Metrics.enabled () then begin
+        Obs.Metrics.incr c_feasible;
+        Obs.Metrics.incr (win_counter strategy);
+        Obs.Metrics.observe h_win_index 1
+      end;
+      Some placement
+
+let probe_multi strategies instance y =
+  Obs.Trace.span "probe" ~args:(probe_args y) @@ fun () ->
+  Obs.Metrics.incr c_oracle;
+  let rec attempt idx = function
+    | [] -> None
+    | strategy :: rest -> (
+        Obs.Metrics.incr c_attempts;
+        match pack_at_yield strategy instance y with
+        | None -> attempt (idx + 1) rest
+        | Some placement ->
+            if Obs.Metrics.enabled () then begin
+              Obs.Metrics.incr c_feasible;
+              Obs.Metrics.incr (win_counter strategy);
+              Obs.Metrics.observe h_win_index idx
+            end;
+            Obs.Trace.instant "win"
+              ~args:
+                (("strategy", Packing.Strategy.name strategy) :: probe_args y);
+            Some placement)
+  in
+  attempt 1 strategies
+
 let evaluate instance placement =
   match Model.Placement.min_yield instance placement with
   | None -> None
@@ -37,12 +88,14 @@ let search ?tolerance ?pool ?on_round oracle =
   | Some _ | None -> Binary_search.maximize ?tolerance ?on_round oracle
 
 let solve ?tolerance ?pool ?on_round strategy instance =
-  search ?tolerance ?pool ?on_round (pack_at_yield strategy instance)
+  Obs.Trace.span "solve" ~args:[ ("strategy", Packing.Strategy.name strategy) ]
+  @@ fun () ->
+  search ?tolerance ?pool ?on_round (probe_single strategy instance)
   |> finish instance
 
 let solve_multi ?tolerance ?pool ?on_round strategies instance =
-  let oracle y =
-    List.find_map (fun strategy -> pack_at_yield strategy instance y)
-      strategies
-  in
-  search ?tolerance ?pool ?on_round oracle |> finish instance
+  Obs.Trace.span "solve_multi"
+    ~args:[ ("strategies", string_of_int (List.length strategies)) ]
+  @@ fun () ->
+  search ?tolerance ?pool ?on_round (probe_multi strategies instance)
+  |> finish instance

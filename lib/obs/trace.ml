@@ -1,0 +1,103 @@
+type event = {
+  name : string;
+  ph : char; (* 'X' complete, 'i' instant *)
+  ts : float; (* microseconds *)
+  dur : float; (* microseconds; complete events only *)
+  tid : int;
+  args : (string * string) list;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let start () = Atomic.set enabled_flag true
+let stop () = Atomic.set enabled_flag false
+
+let buf_mutex = Mutex.create ()
+let events : event list ref = ref []
+
+let reset () =
+  Mutex.lock buf_mutex;
+  events := [];
+  Mutex.unlock buf_mutex
+
+let record ev =
+  Mutex.lock buf_mutex;
+  events := ev :: !events;
+  Mutex.unlock buf_mutex
+
+let now_us () = Unix.gettimeofday () *. 1e6
+let tid () = (Domain.self () :> int)
+
+let span ?(args = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        record
+          { name; ph = 'X'; ts = t0; dur = now_us () -. t0; tid = tid (); args })
+      f
+  end
+
+let instant ?(args = []) name =
+  if Atomic.get enabled_flag then
+    record { name; ph = 'i'; ts = now_us (); dur = 0.; tid = tid (); args }
+
+let event_count () =
+  Mutex.lock buf_mutex;
+  let n = List.length !events in
+  Mutex.unlock buf_mutex;
+  n
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let event_to_json ev =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\": \"%s\", \"cat\": \"vmalloc\", \"ph\": \"%c\", \"ts\": \
+        %.3f, "
+       (json_escape ev.name) ev.ph ev.ts);
+  if ev.ph = 'X' then
+    Buffer.add_string buf (Printf.sprintf "\"dur\": %.3f, " ev.dur);
+  if ev.ph = 'i' then Buffer.add_string buf "\"s\": \"t\", ";
+  Buffer.add_string buf
+    (Printf.sprintf "\"pid\": 0, \"tid\": %d, \"args\": {" ev.tid);
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v)))
+    ev.args;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let to_json () =
+  Mutex.lock buf_mutex;
+  let evs = List.rev !events in
+  Mutex.unlock buf_mutex;
+  let evs = List.stable_sort (fun a b -> Float.compare a.ts b.ts) evs in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (event_to_json ev))
+    evs;
+  Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents buf
+
+let write path =
+  let oc = open_out path in
+  output_string oc (to_json ());
+  close_out oc

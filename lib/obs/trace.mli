@@ -1,0 +1,41 @@
+(** Span tracer with Chrome trace-event export.
+
+    Records named, wall-clock-stamped spans (and instant events) into a
+    process-global buffer and exports them in the Chrome trace-event JSON
+    format, so a solver run can be opened in [chrome://tracing] or
+    Perfetto. Each event carries the recording domain's id as its [tid],
+    which makes speculative probe fan-out visible as parallel tracks.
+
+    Tracing is the {e intentionally nondeterministic} half of [Obs]:
+    timestamps and durations appear only in the exported file, never on
+    stdout — the deterministic counterpart is {!Obs.Metrics}. When
+    disabled (the default), {!span} costs one atomic load and branch and
+    calls its thunk directly. *)
+
+val enabled : unit -> bool
+
+val start : unit -> unit
+(** Begin capturing (does not clear previously captured events). *)
+
+val stop : unit -> unit
+
+val reset : unit -> unit
+(** Drop all captured events. *)
+
+val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f], recording a complete ("X") event with [f]'s
+    wall-clock duration when tracing is enabled (also on exceptions).
+    [args] become the event's [args] object. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+(** Record an instant ("i") event. *)
+
+val event_count : unit -> int
+(** Number of captured events. *)
+
+val to_json : unit -> string
+(** All captured events, sorted by timestamp, as
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
+
+val write : string -> unit
+(** [write path] writes {!to_json} to [path]. *)

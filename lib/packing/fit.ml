@@ -1,5 +1,12 @@
 type bin_rank = By_load | By_remaining
 
+(* Packing-engine work counters: one placement attempt per item processed,
+   one bin examined per fits test (first-fit stops at the first success,
+   best-fit always scans every bin). *)
+let c_attempts = Obs.Metrics.counter "packing.placement_attempts"
+let c_bins = Obs.Metrics.counter "packing.bins_examined"
+let c_placed = Obs.Metrics.counter "packing.placements"
+
 (* Items must be processed strictly in order (the sort is the heuristic), so
    both algorithms use an explicit indexed loop rather than iterators whose
    traversal order is unspecified. *)
@@ -9,10 +16,16 @@ let first_fit ~bins ~items =
   let rec place_from j =
     if j >= Array.length items then true
     else begin
+      Obs.Metrics.incr c_attempts;
       let item = items.(j) in
       let rec scan b =
-        if b >= n_bins then false
+        if b >= n_bins then begin
+          Obs.Metrics.add c_bins n_bins;
+          false
+        end
         else if Bin.fits bins.(b) item then begin
+          Obs.Metrics.add c_bins (b + 1);
+          Obs.Metrics.incr c_placed;
           Bin.place bins.(b) item;
           true
         end
@@ -33,6 +46,8 @@ let best_fit ~rank ~bins ~items =
   let rec place_from j =
     if j >= Array.length items then true
     else begin
+      Obs.Metrics.incr c_attempts;
+      Obs.Metrics.add c_bins (Array.length bins);
       let item = items.(j) in
       let best = ref (-1) and best_score = ref infinity in
       Array.iteri
@@ -46,6 +61,7 @@ let best_fit ~rank ~bins ~items =
           end)
         bins;
       if !best >= 0 then begin
+        Obs.Metrics.incr c_placed;
         Bin.place bins.(!best) item;
         place_from (j + 1)
       end

@@ -2,6 +2,13 @@ type flavour = Permutation | Choose
 
 type bin_ranking = By_load | By_remaining_capacity
 
+(* The permutation-key engine's unit of work is one candidate key built and
+   compared while a bin selects its next item; attempts count the select
+   passes (one per placed item plus one final empty pass per bin). *)
+let c_keys = Obs.Metrics.counter "packing.perm_keys_tried"
+let c_attempts = Obs.Metrics.counter "packing.placement_attempts"
+let c_placed = Obs.Metrics.counter "packing.placements"
+
 (* Rank positions of a bin's dimensions: position.(d) = rank of dimension d
    in the bin's preference order (0 = the dimension we most want demand
    in). *)
@@ -47,10 +54,12 @@ let pack ?(flavour = Permutation) ?window ?(ranking = By_load) ~bins ~items () =
     let rec select () =
       if !left = 0 then ()
       else begin
+        Obs.Metrics.incr c_attempts;
         let pos = bin_positions ranking bin in
         let best = ref (-1) and best_key = ref [||] in
         for j = 0 to n_items - 1 do
           if unplaced.(j) && Bin.fits bin items.(j) then begin
+            Obs.Metrics.incr c_keys;
             let key = item_key ~bin_perm_pos:pos items.(j) in
             (* Strict comparison keeps the earliest item on key ties, which
                is how the sorted per-permutation lists of the original
@@ -63,6 +72,7 @@ let pack ?(flavour = Permutation) ?window ?(ranking = By_load) ~bins ~items () =
           end
         done;
         if !best >= 0 then begin
+          Obs.Metrics.incr c_placed;
           Bin.place bin items.(!best);
           unplaced.(!best) <- false;
           decr left;

@@ -63,6 +63,13 @@ let map pool arr f =
   if pool.size = 1 || n <= 1 then Array.map f arr
   else begin
     let results = Array.make n None in
+    (* When metrics are live, each task runs against a fresh sink so that
+       counts accumulated on worker domains can be folded back into the
+       caller's sink in task-input order — the merged totals are then the
+       sequential ones whatever the interleaving (the flag is sampled once
+       so a mid-map toggle cannot half-wrap the round). *)
+    let obs = Obs.Metrics.enabled () in
+    let sinks = if obs then Array.make n None else [||] in
     let next = Atomic.make 0 in
     let completed = Atomic.make 0 in
     let error = Atomic.make None in
@@ -77,7 +84,15 @@ let map pool arr f =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          (match f arr.(i) with
+          let task () =
+            if obs then begin
+              let s = Obs.Metrics.fresh_sink () in
+              sinks.(i) <- Some s;
+              Obs.Metrics.with_sink s (fun () -> f arr.(i))
+            end
+            else f arr.(i)
+          in
+          (match task () with
           | v -> results.(i) <- Some v
           | exception e ->
               ignore (Atomic.compare_and_set error None (Some e)));
@@ -105,6 +120,12 @@ let map pool arr f =
       Condition.wait done_cond done_mutex
     done;
     Mutex.unlock done_mutex;
+    (* The completion barrier above orders every task-sink write before
+       these reads; merging in input order makes the fold deterministic. *)
+    if obs then
+      Array.iter
+        (function Some s -> Obs.Metrics.merge_into_current s | None -> ())
+        sinks;
     match Atomic.get error with
     | Some e -> raise e
     | None ->

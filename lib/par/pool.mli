@@ -31,7 +31,13 @@ val map : t -> 'a array -> ('a -> 'b) -> 'b array
     calling domain works too, so this makes progress with any pool size.
     If any [f] raises, the first exception (in claim order) is re-raised
     in the caller after all in-flight tasks finish. Tasks must not
-    themselves call into the same pool (no nested maps). *)
+    themselves call into the same pool (no nested maps).
+
+    When {!Obs.Metrics} is enabled, every task runs against a fresh
+    task-local metric sink and the task sinks are merged into the caller's
+    sink {e in input order} after the round, so metric totals are
+    byte-identical to the sequential run at any pool size (the enabled
+    flag is sampled once per map; do not toggle it mid-map). *)
 
 val map_reduce :
   t ->

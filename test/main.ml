@@ -1,4 +1,7 @@
 let () =
+  (* VMALLOC_OBS=1 runs the whole suite with live metric sinks (the CI
+     matrix does), so instrumentation overhead paths get exercised too. *)
+  if Obs.Metrics.enabled_from_env () then Obs.Metrics.set_enabled true;
   Alcotest.run "vmalloc"
     [
       ("vector", Test_vector.suite);
@@ -16,6 +19,7 @@ let () =
       ("experiments", Test_experiments.suite);
       ("rng", Test_rng.suite);
       ("par", Test_par.suite);
+      ("obs", Test_obs.suite);
       ("simulator", Test_simulator.suite);
       ("core-facade", Test_core.suite);
     ]

@@ -142,6 +142,79 @@ let test_differential_fast_paths () =
             [ 1e-2; 1e-3; 3e-4; 0. ]))
     (pool_sizes ())
 
+(* Exact announced-probe sequences, pinned point by point. Oracle feasible
+   iff y <= 0.3 at tolerance 0.2 — wide enough to trace by hand:
+
+   sequential   [1]; [0]; [0.5]; [0.25]; [0.375]        (bracket 0.25..0.375)
+   k=2 (n=3)    [1]; [0]; [0.5 0.25 0.75]; [0.375 0.3125 0.4375]
+   k=4 (n=7)    [1]; [0]; [0.5 0.25 0.75 0.125 0.375 0.625 0.875]
+
+   The speculative batches are the next bisection levels below the current
+   bracket in heap order (children of i at 2i+1/2i+2); the on-path points
+   (0.5, 0.25, 0.375) appear bit-identically inside them. *)
+let show_rounds rounds =
+  String.concat "; "
+    (List.map
+       (fun pts ->
+         "["
+         ^ String.concat " "
+             (List.map (Printf.sprintf "%.17g") (Array.to_list pts))
+         ^ "]")
+       rounds)
+
+let record f =
+  let rounds = ref [] in
+  ignore (f (fun pts -> rounds := Array.copy pts :: !rounds));
+  show_rounds (List.rev !rounds)
+
+let test_probe_sequences () =
+  let tolerance = 0.2 in
+  let oracle y = if y <= 0.3 then Some y else None in
+  let expect rounds = show_rounds (List.map Array.of_list rounds) in
+  let seq_expected = expect [ [ 1. ]; [ 0. ]; [ 0.5 ]; [ 0.25 ]; [ 0.375 ] ] in
+  Alcotest.(check string) "sequential probe sequence" seq_expected
+    (record (fun on_round -> BS.maximize ~tolerance ~on_round oracle));
+  let par ~domains on_round =
+    with_pool ~domains (fun pool ->
+        BS.maximize_par ~tolerance ~pool ~on_round oracle)
+  in
+  Alcotest.(check string) "pool size 1 degenerates to the sequential sequence"
+    seq_expected
+    (record (fun on_round -> par ~domains:1 on_round));
+  Alcotest.(check string) "pool size 2: two 3-point speculative rounds"
+    (expect
+       [ [ 1. ]; [ 0. ]; [ 0.5; 0.25; 0.75 ]; [ 0.375; 0.3125; 0.4375 ] ])
+    (record (fun on_round -> par ~domains:2 on_round));
+  Alcotest.(check string) "pool size 4: one 7-point speculative round"
+    (expect
+       [ [ 1. ]; [ 0. ];
+         [ 0.5; 0.25; 0.75; 0.125; 0.375; 0.625; 0.875 ] ])
+    (record (fun on_round -> par ~domains:4 on_round))
+
+(* The fast paths announce exactly the endpoint probes — [|1.|] alone when
+   feasible at 1, [|1.|]; [|0.|] when infeasible at 0 — identically on both
+   searches at every pool size. *)
+let test_probe_sequence_endpoints () =
+  let feasible_at_1 = "[1]" and infeasible_at_0 = "[1]; [0]" in
+  Alcotest.(check string) "maximize feasible-at-1" feasible_at_1
+    (record (fun on_round -> BS.maximize ~on_round (fun y -> Some y)));
+  Alcotest.(check string) "maximize infeasible-at-0" infeasible_at_0
+    (record (fun on_round -> BS.maximize ~on_round (fun _ -> None)));
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun pool ->
+          Alcotest.(check string)
+            (Printf.sprintf "maximize_par feasible-at-1 (k=%d)" domains)
+            feasible_at_1
+            (record (fun on_round ->
+                 BS.maximize_par ~pool ~on_round (fun y -> Some y)));
+          Alcotest.(check string)
+            (Printf.sprintf "maximize_par infeasible-at-0 (k=%d)" domains)
+            infeasible_at_0
+            (record (fun on_round ->
+                 BS.maximize_par ~pool ~on_round (fun _ -> None)))))
+    [ 1; 2; 4 ]
+
 (* Round/probe regression: with a k-domain pool each Pool.map round resolves
    ⌈log₂(k+1)⌉ bisection levels, so the number of oracle rounds (the
    latency-critical serial steps; counted via [on_round]) must never exceed
@@ -264,6 +337,8 @@ let suite =
       ("maximize_par = maximize on FF/BF/PP/CP oracles",
        test_differential_packing_oracles);
       ("maximize_par fast paths and tolerances", test_differential_fast_paths);
+      ("exact announced probe sequences", test_probe_sequences);
+      ("endpoint probe announcements", test_probe_sequence_endpoints);
       ("round count: bound and <= sequential probes", test_round_regression);
       ("round count on a packing search", test_round_regression_packing);
     ]

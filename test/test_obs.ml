@@ -1,0 +1,177 @@
+(* lib/obs lock-down: the disabled path records nothing, enabled counters
+   and histograms total correctly, Pool.map's task-sink merge keeps merged
+   snapshots byte-identical at any domain count (including a real Table 1
+   sweep — the ISSUE's acceptance criterion), and the span tracer
+   round-trips through its Chrome JSON export. *)
+
+(* Every test toggles the global flag, so save/restore it — the rest of
+   the suite must keep running under whatever VMALLOC_OBS selected. *)
+let with_enabled v f =
+  let prev = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled v;
+  Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled prev) f
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_disabled_noop () =
+  with_enabled false @@ fun () ->
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter "test.obs.disabled" in
+  let h = Obs.Metrics.histogram "test.obs.disabled_hist" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 41;
+  Obs.Metrics.observe h 7;
+  let snap = Obs.Metrics.snapshot () in
+  Alcotest.(check int) "counter stayed zero" 0
+    (Obs.Metrics.Snapshot.counter_value snap "test.obs.disabled");
+  Alcotest.(check bool) "histogram stayed empty" false
+    (contains (Obs.Metrics.Snapshot.render snap) "test.obs.disabled_hist")
+
+let test_counters_and_histograms () =
+  with_enabled true @@ fun () ->
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter "test.obs.counter" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 41;
+  let h = Obs.Metrics.histogram "test.obs.hist" in
+  List.iter (Obs.Metrics.observe h) [ 0; 1; 2; 3; 900 ];
+  let snap = Obs.Metrics.snapshot () in
+  Alcotest.(check int) "counter total" 42
+    (Obs.Metrics.Snapshot.counter_value snap "test.obs.counter");
+  let rendered = Obs.Metrics.Snapshot.render snap in
+  (* 0 -> bucket "0"; 1 -> "1"; 2,3 -> "2-3"; 900 -> "512-1023". *)
+  Alcotest.(check bool) "histogram line" true
+    (contains rendered "test.obs.hist count=5 sum=906 [0:1 1:1 2-3:2 512-1023:1]");
+  let json = Obs.Metrics.Snapshot.to_json snap in
+  Alcotest.(check bool) "counter in JSON" true
+    (contains json "\"test.obs.counter\": 42");
+  Alcotest.(check bool) "histogram in JSON" true
+    (contains json "\"test.obs.hist\": {\"count\": 5, \"sum\": 906");
+  Obs.Metrics.reset ();
+  let snap' = Obs.Metrics.snapshot () in
+  Alcotest.(check int) "reset zeroes the counter" 0
+    (Obs.Metrics.Snapshot.counter_value snap' "test.obs.counter");
+  Alcotest.(check bool) "reset empties the histogram" false
+    (contains (Obs.Metrics.Snapshot.render snap') "test.obs.hist")
+
+(* Pool.map installs a fresh sink per task and merges the task sinks in
+   task-input order, so a merged snapshot is byte-identical whatever the
+   pool size — even though the tasks themselves land on different domains. *)
+let test_pool_merge_domain_invariant () =
+  with_enabled true @@ fun () ->
+  let c = Obs.Metrics.counter "test.obs.pool" in
+  let h = Obs.Metrics.histogram "test.obs.pool_hist" in
+  let work i =
+    Obs.Metrics.add c (i + 1);
+    Obs.Metrics.observe h i;
+    i
+  in
+  let run domains =
+    Obs.Metrics.reset ();
+    Par.Pool.with_pool ~domains (fun pool ->
+        ignore (Par.Pool.map pool (Array.init 20 Fun.id) work));
+    let snap = Obs.Metrics.snapshot () in
+    ( Obs.Metrics.Snapshot.render snap,
+      Obs.Metrics.Snapshot.counter_value snap "test.obs.pool" )
+  in
+  let r1, total1 = run 1 in
+  let r2, total2 = run 2 in
+  let r4, total4 = run 4 in
+  (* 1 + 2 + ... + 20 *)
+  Alcotest.(check int) "total at 1 domain" 210 total1;
+  Alcotest.(check int) "total at 2 domains" 210 total2;
+  Alcotest.(check int) "total at 4 domains" 210 total4;
+  Alcotest.(check string) "render: 1 vs 2 domains" r1 r2;
+  Alcotest.(check string) "render: 1 vs 4 domains" r1 r4
+
+(* The acceptance criterion end-to-end: a (tiny) Table 1 sweep with metrics
+   on produces byte-identical merged counter snapshots at VMALLOC_DOMAINS
+   1, 2, and 4. Every instrumented layer fires here — binary search,
+   vp_solver, packing, greedy, the trial counter. *)
+let test_table1_snapshot_domain_invariant () =
+  with_enabled true @@ fun () ->
+  let scale =
+    {
+      Experiments.Scale.small with
+      table1_hosts = 4;
+      table1_services = [ 6 ];
+      table1_covs = [ 0.5 ];
+      table1_slacks = [ 0.4 ];
+      table1_reps = 2;
+    }
+  in
+  let run domains =
+    Obs.Metrics.reset ();
+    (if domains = 1 then ignore (Experiments.Table1.run scale)
+     else
+       Par.Pool.with_pool ~domains (fun pool ->
+           ignore (Experiments.Table1.run ~pool scale)));
+    let snap = Obs.Metrics.snapshot () in
+    ( Obs.Metrics.Snapshot.render snap,
+      Obs.Metrics.Snapshot.counter_value snap "experiments.table1.trials" )
+  in
+  let r1, trials1 = run 1 in
+  let r2, trials2 = run 2 in
+  let r4, trials4 = run 4 in
+  (* 2 instances x 5 major algorithms. *)
+  Alcotest.(check int) "trials counted (1 domain)" 10 trials1;
+  Alcotest.(check int) "trials counted (2 domains)" 10 trials2;
+  Alcotest.(check int) "trials counted (4 domains)" 10 trials4;
+  Alcotest.(check bool) "solver layers fired" true
+    (contains r1 "binary_search.rounds" && contains r1 "packing.placements"
+    && contains r1 "greedy.candidate_evals");
+  Alcotest.(check string) "snapshot: 1 vs 2 domains" r1 r2;
+  Alcotest.(check string) "snapshot: 1 vs 4 domains" r1 r4
+
+let test_trace_spans () =
+  Obs.Trace.stop ();
+  Obs.Trace.reset ();
+  (* Disabled: span runs the thunk, records nothing. *)
+  Alcotest.(check int) "disabled span passes through" 7
+    (Obs.Trace.span "dark" (fun () -> 7));
+  Alcotest.(check int) "nothing captured while disabled" 0
+    (Obs.Trace.event_count ());
+  Obs.Trace.start ();
+  Fun.protect ~finally:(fun () ->
+      Obs.Trace.stop ();
+      Obs.Trace.reset ())
+  @@ fun () ->
+  let v =
+    Obs.Trace.span "outer" ~args:[ ("k", "v") ] (fun () ->
+        Obs.Trace.instant "mark";
+        Obs.Trace.span "inner" (fun () -> 42))
+  in
+  Alcotest.(check int) "span returns its thunk's value" 42 v;
+  (* Spans record on exceptions too. *)
+  (try Obs.Trace.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "outer + instant + inner + boom" 4
+    (Obs.Trace.event_count ());
+  let json = Obs.Trace.to_json () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "JSON has %s" needle) true
+        (contains json needle))
+    [
+      "\"traceEvents\"";
+      "\"displayTimeUnit\": \"ms\"";
+      "\"name\": \"outer\"";
+      "\"ph\": \"X\"";
+      "\"ph\": \"i\"";
+      "\"k\": \"v\"";
+    ]
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("disabled sinks record nothing", test_disabled_noop);
+      ("counters, histograms, reset", test_counters_and_histograms);
+      ("Pool.map merge is domain-count invariant",
+       test_pool_merge_domain_invariant);
+      ("Table 1 sweep snapshot identical at 1/2/4 domains",
+       test_table1_snapshot_domain_invariant);
+      ("trace spans and Chrome JSON export", test_trace_spans);
+    ]
