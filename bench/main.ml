@@ -57,6 +57,25 @@ let obs_snapshots : (string * string) list ref = ref []
    zero-overhead-when-disabled check. *)
 let obs_overhead : (float * float) option ref = ref None
 
+(* Online-simulator measurements recorded by the sim section. *)
+type sim_scale_point = {
+  s_horizon : float;
+  s_admitted : int;
+  s_seconds : float;
+}
+
+let sim_scaling : sim_scale_point list ref = ref []
+let sim_skips : int option ref = ref None
+
+type sim_shard_run = {
+  sh_shards : int;
+  sh_domains : int;
+  sh_seconds : float;
+  sh_identical : bool;
+}
+
+let sim_shard_runs : sim_shard_run list ref = ref []
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -130,6 +149,36 @@ let write_bench_par_json ~scale_label ~total path =
         disabled_s enabled_s
         (if disabled_s > 0. then enabled_s /. disabled_s else 0.)
   | None -> out "    \"overhead\": null\n");
+  out "  },\n";
+  out "  \"sim\": {\n";
+  out "    \"scaling\": [\n";
+  let sc = List.rev !sim_scaling in
+  List.iteri
+    (fun i p ->
+      out
+        "      {\"horizon\": %.0f, \"admitted\": %d, \"seconds\": %.3f, \
+         \"us_per_admitted\": %.1f}%s\n"
+        p.s_horizon p.s_admitted p.s_seconds
+        (if p.s_admitted > 0 then
+           p.s_seconds /. float_of_int p.s_admitted *. 1e6
+         else 0.)
+        (if i < List.length sc - 1 then "," else ""))
+    sc;
+  out "    ],\n";
+  (match !sim_skips with
+  | Some n -> out "    \"reeval_skips\": %d,\n" n
+  | None -> out "    \"reeval_skips\": null,\n");
+  out "    \"sharded\": [\n";
+  let sr = List.rev !sim_shard_runs in
+  List.iteri
+    (fun i r ->
+      out
+        "      {\"shards\": %d, \"domains\": %d, \"seconds\": %.3f, \
+         \"identical\": %b}%s\n"
+        r.sh_shards r.sh_domains r.sh_seconds r.sh_identical
+        (if i < List.length sr - 1 then "," else ""))
+    sr;
+  out "    ]\n";
   out "  }\n";
   out "}\n";
   close_out oc;
@@ -476,6 +525,111 @@ let run_online () =
     "Expected shape: no mitigation suffers under error; the adaptive\n\
      controller approaches the best fixed threshold without tuning."
 
+(* Online-simulator section: (1) arrival-path scaling — with a bounded
+   steady-state active set, total cost must grow ~linearly in admitted
+   services now that the engine's arrival/departure paths are O(log n)
+   (the former list-append copy made the constant grow with the live set);
+   (2) the rejected-arrival re-evaluation skip counter; (3) sharded runs:
+   shards=4 merged deterministically, byte-identical at any domain count.
+   Counts and identity flags are deterministic (stdout); wall times go to
+   stderr and the sim block of BENCH_par.json. *)
+let run_sim () =
+  section_header "Online simulator (sharded engine, hot-path scaling)";
+  let platform =
+    Array.init 8 (fun id ->
+        if id < 4 then Model.Node.make_cores ~id ~cores:4 ~cpu:0.4 ~mem:0.4
+        else Model.Node.make_cores ~id ~cores:4 ~cpu:0.8 ~mem:0.8)
+  in
+  let config horizon =
+    {
+      Simulator.Engine.default_config with
+      horizon;
+      arrival_rate = 2.;
+      mean_lifetime = 12.;
+      reallocation_period = 20.;
+      (* Tight enough that a few arrivals are rejected — the skip-path
+         measurement needs them — while the steady-state set stays
+         bounded. *)
+      memory_scale = 1.4;
+    }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Arrival-path scaling: doubling the horizon doubles admitted arrivals
+     while the steady-state active set stays bounded. *)
+  List.iter
+    (fun horizon ->
+      let stats, s_seconds =
+        time (fun () ->
+            Simulator.Engine.run
+              ~rng:(Prng.Rng.create ~seed:0)
+              (config horizon) ~platform)
+      in
+      sim_scaling :=
+        { s_horizon = horizon; s_admitted = stats.admitted; s_seconds }
+        :: !sim_scaling;
+      Printf.printf "horizon %4.0f: %4d admitted, %3d rejected\n" horizon
+        stats.admitted stats.rejected;
+      Printf.eprintf "[bench] sim horizon %.0f: %.3fs (%.1f us/admitted)\n%!"
+        horizon s_seconds
+        (if stats.admitted > 0 then
+           s_seconds /. float_of_int stats.admitted *. 1e6
+         else 0.))
+    [ 100.; 200.; 400. ];
+  (* Rejected-arrival skip counter on the default sim scenario. *)
+  let was_enabled = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled false;
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  let skip_stats =
+    Simulator.Engine.run ~rng:(Prng.Rng.create ~seed:0) (config 200.)
+      ~platform
+  in
+  Obs.Metrics.set_enabled false;
+  let snap = Obs.Metrics.snapshot () in
+  Obs.Metrics.set_enabled was_enabled;
+  let skips = Obs.Metrics.Snapshot.counter_value snap "simulator.reeval_skips" in
+  sim_skips := Some skips;
+  Printf.printf
+    "re-evaluation skips (rejected arrivals): %d of %d rejected — %s\n" skips
+    skip_stats.rejected
+    (if skips = skip_stats.rejected && skips > 0 then "ok"
+     else "UNEXPECTED (skip-path bug!)");
+  (* Sharded runs: 4 shards, sequential vs the session pool. *)
+  let sharded ?pool domains =
+    let r, seconds =
+      time (fun () ->
+          Simulator.Sharded.run ?pool ~seed:0 ~shards:4 (config 200.)
+            ~platform)
+    in
+    (r, domains, seconds)
+  in
+  let base, _, base_s = sharded 1 in
+  sim_shard_runs :=
+    { sh_shards = 4; sh_domains = 1; sh_seconds = base_s;
+      sh_identical = true }
+    :: !sim_shard_runs;
+  (match !pool with
+  | Some p ->
+      let par, domains, par_s = sharded ~pool:p (Par.Pool.size p) in
+      let identical = par.Simulator.Sharded.merged = base.Simulator.Sharded.merged in
+      sim_shard_runs :=
+        { sh_shards = 4; sh_domains = domains; sh_seconds = par_s;
+          sh_identical = identical }
+        :: !sim_shard_runs;
+      Printf.printf "sharded (4 shards) merged stats identical at %d domains: %s\n"
+        domains
+        (if identical then "yes" else "NO (determinism bug!)")
+  | None ->
+      Printf.printf
+        "sharded (4 shards) merged stats identical at 1 domain: yes\n");
+  Printf.printf "sharded admitted: %d  merged min-yield samples: %d\n"
+    base.Simulator.Sharded.merged.admitted
+    (List.length base.Simulator.Sharded.merged.yield_samples)
+
 let run_ablation () =
   section_header "Ablations";
   print_string
@@ -550,7 +704,7 @@ let all_sections =
   [
     "table1"; "table2"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
     "figfamilies"; "successrate"; "ranking"; "hvplight"; "theorem";
-    "ablation"; "online"; "parbench"; "probepar"; "obs";
+    "ablation"; "online"; "parbench"; "probepar"; "obs"; "sim";
     "micro";
   ]
 
@@ -613,6 +767,7 @@ let () =
       | "parbench" -> run_parbench scale
       | "probepar" -> run_probe_par ()
       | "obs" -> run_obs ()
+      | "sim" -> run_sim ()
       | "micro" -> run_micro ()
       | other -> Printf.eprintf "unknown section %S (skipped)\n" other)
     requested;

@@ -347,8 +347,30 @@ let simulate_cmd =
   let seed =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"K"
+             ~doc:"Partition the platform into $(docv) disjoint node shards \
+                   simulated independently; stats and event logs are merged \
+                   deterministically by (time, shard). 1 = the plain \
+                   single-engine run.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker domains for running the shards in parallel (0 = \
+                   read \\$VMALLOC_DOMAINS, defaulting to the recommended \
+                   domain count; 1 = sequential). The merged output is \
+                   byte-identical at any value.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record shard/reallocation spans and write them to \
+                   $(docv) in Chrome trace-event JSON.")
+  in
   let run horizon arrival_rate mean_lifetime period max_error threshold hosts
-      seed =
+      seed shards domains stats trace =
     let threshold_mode =
       if String.lowercase_ascii threshold = "adaptive" then
         Ok (Simulator.Engine.Adaptive
@@ -358,9 +380,9 @@ let simulate_cmd =
         | Some t when t >= 0. -> Ok (Simulator.Engine.Fixed t)
         | _ -> Error ("bad threshold: " ^ threshold)
     in
-    match threshold_mode with
-    | Error e -> `Error (false, e)
-    | Ok threshold -> (
+    match (threshold_mode, check_domains domains) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok threshold, Ok domains -> (
         let platform =
           Array.init hosts (fun id ->
               if id < hosts / 2 then
@@ -379,27 +401,48 @@ let simulate_cmd =
             memory_scale = 0.5;
           }
         in
-        match
-          Simulator.Engine.run ~rng:(Prng.Rng.create ~seed) config ~platform
-        with
-        | stats ->
+        if stats then begin
+          Obs.Metrics.reset ();
+          Obs.Metrics.set_enabled true
+        end;
+        if trace <> None then Obs.Trace.start ();
+        let simulate () =
+          if domains > 1 && shards > 1 then
+            Par.Pool.with_pool ~domains (fun pool ->
+                Simulator.Sharded.run ~pool ~seed ~shards config ~platform)
+          else Simulator.Sharded.run ~seed ~shards config ~platform
+        in
+        match simulate () with
+        | { merged; _ } ->
+            if shards > 1 then Printf.printf "shards: %d\n" shards;
             Printf.printf
               "horizon %.0f: %d arrivals (%d rejected), %d departures\n\
                %d reallocations (%d failed), %d migrations\n\
                time-averaged minimum yield: %.4f\n\
                final threshold: %.3f\n"
-              horizon stats.arrivals stats.rejected stats.departures
-              stats.reallocations stats.failed_reallocations stats.migrations
-              stats.mean_min_yield stats.final_threshold;
+              horizon merged.arrivals merged.rejected merged.departures
+              merged.reallocations merged.failed_reallocations
+              merged.migrations merged.mean_min_yield merged.final_threshold;
+            if stats then print_stats ();
+            (match trace with
+            | None -> ()
+            | Some path ->
+                Obs.Trace.stop ();
+                Obs.Trace.write path;
+                Printf.eprintf "wrote trace %s (%d events)\n%!" path
+                  (Obs.Trace.event_count ()));
             `Ok ()
         | exception Invalid_argument e -> `Error (false, e))
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run the online-hosting simulation (arrivals/departures with \
-             periodic reallocation).")
+             periodic reallocation; --shards partitions the platform into \
+             independent shards, --domains runs them in parallel, --stats / \
+             --trace observe the run).")
     Term.(ret (const run $ horizon $ arrival_rate $ mean_lifetime $ period
-               $ max_error $ threshold $ hosts $ seed))
+               $ max_error $ threshold $ hosts $ seed $ shards $ domains
+               $ stats_term $ trace))
 
 (* theorem *)
 

@@ -15,12 +15,19 @@ let v ~id ~requirement ~need =
   check_nonneg "need" need;
   { id; requirement; need }
 
+let cpu_dim = 0
+let mem_dim = 1
+
 let make_2d ~id ?(cpu_req = (0., 0.)) ?(mem_req = 0.) ?(cpu_need = (0., 0.))
     ?(mem_need = 0.) () =
+  let components c m =
+    let a = Array.make 2 0. in
+    a.(cpu_dim) <- c;
+    a.(mem_dim) <- m;
+    Vec.Vector.of_array a
+  in
   let pair (ce, ca) m =
-    Vec.Epair.v
-      ~elementary:(Vec.Vector.of_array [| ce; m |])
-      ~aggregate:(Vec.Vector.of_array [| ca; m |])
+    Vec.Epair.v ~elementary:(components ce m) ~aggregate:(components ca m)
   in
   v ~id ~requirement:(pair cpu_req mem_req) ~need:(pair cpu_need mem_need)
 

@@ -12,6 +12,14 @@ val v : id:int -> requirement:Vec.Epair.t -> need:Vec.Epair.t -> t
 (** Raises [Invalid_argument] on dimension mismatches or negative
     components. *)
 
+val cpu_dim : int
+(** Dimension index of CPU ([0]) in the 2-D convenience layout shared by
+    {!make_2d}, {!Node.make_cores}, and the online simulator's admission
+    path. *)
+
+val mem_dim : int
+(** Dimension index of memory ([1]) in the same layout. *)
+
 val make_2d :
   id:int ->
   ?cpu_req:float * float ->

@@ -26,6 +26,8 @@ let create ?(initial = 0.) ?(quantile = 90.) ?(window = 256)
     current = Float.max min_threshold (Float.min max_threshold initial);
   }
 
+let fresh t = { t with samples = Array.make t.window 0.; count = 0 }
+
 let threshold t = t.current
 
 let observations t = min t.count t.window

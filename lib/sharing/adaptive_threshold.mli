@@ -30,6 +30,12 @@ val create :
     quantile outside [0, 100], non-positive window, or an empty clamp
     range. *)
 
+val fresh : t -> t
+(** An independent controller with the same configuration, the current
+    threshold as its starting value, and an empty observation window.
+    The sharded simulator hands one to each shard so that no mutable state
+    is shared across domains. *)
+
 val threshold : t -> float
 (** The threshold to apply to the next epoch's estimates (feed to
     {!Workload.Errors.apply_threshold}-style rounding). *)

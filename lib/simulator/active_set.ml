@@ -1,0 +1,80 @@
+(* Intrusive doubly-linked list threaded through a uid index. The list
+   gives O(1) ordered append and O(1) unlink; the hash table gives O(1)
+   lookup by uid. Iteration walks the links first-to-last, which is exactly
+   the insertion order with removed cells spliced out — the same sequence
+   the engine's former [list ref] produced via [@ [x]] appends and
+   [List.filter] removals. *)
+
+type 'a cell = {
+  uid : int;
+  value : 'a;
+  mutable prev : 'a cell option;
+  mutable next : 'a cell option;
+}
+
+type 'a t = {
+  mutable first : 'a cell option;
+  mutable last : 'a cell option;
+  index : (int, 'a cell) Hashtbl.t;
+  mutable length : int;
+}
+
+let create () = { first = None; last = None; index = Hashtbl.create 64; length = 0 }
+
+let length t = t.length
+
+let is_empty t = t.length = 0
+
+let mem t ~uid = Hashtbl.mem t.index uid
+
+let append t ~uid value =
+  if Hashtbl.mem t.index uid then
+    invalid_arg "Active_set.append: duplicate uid";
+  let cell = { uid; value; prev = t.last; next = None } in
+  (match t.last with
+  | None -> t.first <- Some cell
+  | Some last -> last.next <- Some cell);
+  t.last <- Some cell;
+  Hashtbl.replace t.index uid cell;
+  t.length <- t.length + 1
+
+let remove t ~uid =
+  match Hashtbl.find_opt t.index uid with
+  | None -> false
+  | Some cell ->
+      (match cell.prev with
+      | None -> t.first <- cell.next
+      | Some p -> p.next <- cell.next);
+      (match cell.next with
+      | None -> t.last <- cell.prev
+      | Some n -> n.prev <- cell.prev);
+      Hashtbl.remove t.index uid;
+      t.length <- t.length - 1;
+      true
+
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some cell ->
+        f cell.value;
+        go cell.next
+  in
+  go t.first
+
+let to_array t =
+  match t.first with
+  | None -> [||]
+  | Some first ->
+      let arr = Array.make t.length first.value in
+      let i = ref 0 in
+      iter t (fun v ->
+          arr.(!i) <- v;
+          incr i);
+      arr
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some cell -> go (cell.value :: acc) cell.next
+  in
+  go [] t.first

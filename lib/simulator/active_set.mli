@@ -1,0 +1,37 @@
+(** Insertion-ordered registry of live services, keyed by uid.
+
+    The engine's arrival path used to append with [actives := !actives @ [l]]
+    (a full copy of the live list, O(n) per arrival) and depart with an O(n)
+    [List.filter] — quadratic over a run. This structure replaces it with a
+    doubly-linked list plus uid hash index: O(1) append, O(1) removal, O(1)
+    membership. Iteration visits values in insertion order with removed
+    entries spliced out, i.e. {e exactly} the order the list-based code
+    produced, so every downstream computation (instance building, admission
+    spread, yield evaluation) is byte-identical — locked down by the golden
+    seed-0 engine tests. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val mem : 'a t -> uid:int -> bool
+
+val append : 'a t -> uid:int -> 'a -> unit
+(** Add at the end of the iteration order. Raises [Invalid_argument] on a
+    duplicate uid. *)
+
+val remove : 'a t -> uid:int -> bool
+(** Unlink the entry with this uid, preserving the relative order of the
+    rest; [false] when absent. *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** In insertion order. *)
+
+val to_array : 'a t -> 'a array
+(** Values in insertion order. *)
+
+val to_list : 'a t -> 'a list

@@ -55,7 +55,21 @@ type live = {
 
 type event = Arrival | Departure of int (* uid *) | Reallocate
 
-let validate config =
+(* Deterministic operation counters (Obs.Metrics never records wall-clock
+   time; reallocation latency in wall-clock terms lives in the "reallocate"
+   trace spans instead, with the deterministic work-size proxy — services
+   re-placed — in [h_realloc_services]). *)
+let c_arrivals = Obs.Metrics.counter "simulator.arrivals"
+let c_admitted = Obs.Metrics.counter "simulator.admitted"
+let c_rejected = Obs.Metrics.counter "simulator.rejected"
+let c_departures = Obs.Metrics.counter "simulator.departures"
+let c_reallocations = Obs.Metrics.counter "simulator.reallocations"
+let c_migrations = Obs.Metrics.counter "simulator.migrations"
+let c_reeval_skips = Obs.Metrics.counter "simulator.reeval_skips"
+let h_epoch_yield = Obs.Metrics.histogram "simulator.epoch_min_yield_permille"
+let h_realloc_services = Obs.Metrics.histogram "simulator.reallocation_services"
+
+let validate config ~platform =
   if config.horizon <= 0. then invalid_arg "Engine.run: horizon";
   if config.arrival_rate <= 0. then invalid_arg "Engine.run: arrival_rate";
   if config.mean_lifetime <= 0. then invalid_arg "Engine.run: mean_lifetime";
@@ -63,7 +77,16 @@ let validate config =
     invalid_arg "Engine.run: reallocation_period";
   if config.max_error < 0. then invalid_arg "Engine.run: max_error";
   if config.per_core_need <= 0. then invalid_arg "Engine.run: per_core_need";
-  if config.memory_scale <= 0. then invalid_arg "Engine.run: memory_scale"
+  if config.memory_scale <= 0. then invalid_arg "Engine.run: memory_scale";
+  (* The admission path and [service_of_live] assume the 2-D (CPU, memory)
+     layout of [Model.Service.make_2d]; reject anything else up front
+     rather than silently misreading a capacity component. *)
+  if Array.length platform = 0 then invalid_arg "Engine.run: empty platform";
+  Array.iter
+    (fun n ->
+      if Model.Node.dim n <> 2 then
+        invalid_arg "Engine.run: platform must be 2-D (CPU, memory)")
+    platform
 
 (* Dense-id service arrays for the model layer, in [actives] order. The
    estimated variant applies the current minimum threshold. *)
@@ -75,8 +98,7 @@ let service_of_live ~estimated ~threshold id (l : live) =
     ~cpu_need:(cpu /. float_of_int l.cores, cpu)
     ()
 
-let build_instances ~platform ~threshold actives =
-  let actives = Array.of_list actives in
+let build_instances ~platform ~threshold (actives : live array) =
   let true_services =
     Array.mapi (service_of_live ~estimated:false ~threshold:0.) actives
   in
@@ -90,10 +112,10 @@ let build_instances ~platform ~threshold actives =
     placement )
 
 let run ?rng config ~platform =
-  validate config;
+  validate config ~platform;
   let rng = match rng with Some r -> r | None -> Prng.Rng.create ~seed:0 in
   let queue = Event_queue.create () in
-  let actives : live list ref = ref [] in
+  let actives : live Active_set.t = Active_set.create () in
   let next_uid = ref 0 in
   let arrivals = ref 0 and admitted = ref 0 and rejected = ref 0 in
   let departures = ref 0 in
@@ -103,6 +125,11 @@ let run ?rng config ~platform =
   let yield_integral = ref 0. in
   let last_time = ref 0. in
   let current_yield = ref 1. in
+  (* Events that neither changed the active set nor the placement nor the
+     threshold (i.e. rejected arrivals) cannot change the minimum yield, so
+     [record] reuses the cached value instead of rebuilding both instances
+     and re-running the scheduler evaluation. *)
+  let state_dirty = ref true in
   let current_threshold () =
     match config.threshold with
     | Fixed t -> t
@@ -113,22 +140,29 @@ let run ?rng config ~platform =
     yield_integral := !yield_integral +. (!current_yield *. (time -. !last_time));
     last_time := time
   in
-  let record time =
+  let record ?(epoch = false) time =
     let y =
-      match !actives with
-      | [] -> 1.
-      | actives_list -> (
-          let _, true_inst, est_inst, placement =
-            build_instances ~platform ~threshold:(current_threshold ())
-              actives_list
-          in
-          match
-            Sharing.Runtime_eval.actual_min_yield config.policy
-              ~true_instance:true_inst ~estimated:est_inst placement
-          with
-          | Some y -> y
-          | None -> 0.)
+      if not !state_dirty then begin
+        Obs.Metrics.incr c_reeval_skips;
+        !current_yield
+      end
+      else if Active_set.is_empty actives then 1.
+      else begin
+        let _, true_inst, est_inst, placement =
+          build_instances ~platform ~threshold:(current_threshold ())
+            (Active_set.to_array actives)
+        in
+        match
+          Sharing.Runtime_eval.actual_min_yield config.policy
+            ~true_instance:true_inst ~estimated:est_inst placement
+        with
+        | Some y -> y
+        | None -> 0.
+      end
     in
+    state_dirty := false;
+    if epoch then
+      Obs.Metrics.observe h_epoch_yield (int_of_float (y *. 1000.));
     current_yield := y;
     yield_samples := (time, y) :: !yield_samples
   in
@@ -139,15 +173,14 @@ let run ?rng config ~platform =
     let h_count = Array.length platform in
     let mem_load = Array.make h_count 0. in
     let count = Array.make h_count 0 in
-    List.iter
-      (fun (a : live) ->
+    Active_set.iter actives (fun (a : live) ->
         mem_load.(a.node) <- mem_load.(a.node) +. a.memory;
-        count.(a.node) <- count.(a.node) + 1)
-      !actives;
+        count.(a.node) <- count.(a.node) + 1);
     let best = ref (-1) in
     for h = 0 to h_count - 1 do
       let cap =
-        Vec.Vector.get platform.(h).Model.Node.capacity.Vec.Epair.aggregate 1
+        Vec.Vector.get platform.(h).Model.Node.capacity.Vec.Epair.aggregate
+          Model.Service.mem_dim
       in
       if
         mem_load.(h) +. l.memory <= cap +. 1e-9
@@ -162,38 +195,45 @@ let run ?rng config ~platform =
   in
   let reallocate () =
     incr reallocations;
-    match !actives with
-    | [] -> ()
-    | actives_list -> (
-        let lives, true_inst, est_inst, old_placement =
-          build_instances ~platform ~threshold:(current_threshold ())
-            actives_list
-        in
-        match config.algorithm.solve est_inst with
-        | None -> incr failed_reallocations
-        | Some sol ->
-            Array.iteri
-              (fun i (l : live) ->
-                if sol.placement.(i) <> old_placement.(i) then
-                  incr migrations;
-                l.node <- sol.placement.(i))
-              lives;
-            (* Close the adaptive feedback loop with what the run-time
-               scheduler actually hands out under the new placement. *)
-            match config.threshold with
-            | Fixed _ -> ()
-            | Adaptive controller -> (
-                match
-                  Sharing.Runtime_eval.consumptions config.policy
-                    ~true_instance:true_inst ~estimated:est_inst sol.placement
-                with
-                | None -> ()
-                | Some actual ->
-                    let estimated =
-                      Array.map (fun (l : live) -> l.est_cpu) lives
-                    in
-                    Sharing.Adaptive_threshold.observe controller ~estimated
-                      ~actual))
+    Obs.Metrics.incr c_reallocations;
+    if not (Active_set.is_empty actives) then begin
+      let n_live = Active_set.length actives in
+      Obs.Metrics.observe h_realloc_services n_live;
+      Obs.Trace.span "reallocate"
+        ~args:[ ("services", string_of_int n_live) ]
+      @@ fun () ->
+      let lives, true_inst, est_inst, old_placement =
+        build_instances ~platform ~threshold:(current_threshold ())
+          (Active_set.to_array actives)
+      in
+      match config.algorithm.solve est_inst with
+      | None -> incr failed_reallocations
+      | Some sol ->
+          Array.iteri
+            (fun i (l : live) ->
+              if sol.placement.(i) <> old_placement.(i) then begin
+                incr migrations;
+                Obs.Metrics.incr c_migrations
+              end;
+              l.node <- sol.placement.(i))
+            lives;
+          (* Close the adaptive feedback loop with what the run-time
+             scheduler actually hands out under the new placement. *)
+          match config.threshold with
+          | Fixed _ -> ()
+          | Adaptive controller -> (
+              match
+                Sharing.Runtime_eval.consumptions config.policy
+                  ~true_instance:true_inst ~estimated:est_inst sol.placement
+              with
+              | None -> ()
+              | Some actual ->
+                  let estimated =
+                    Array.map (fun (l : live) -> l.est_cpu) lives
+                  in
+                  Sharing.Adaptive_threshold.observe controller ~estimated
+                    ~actual)
+    end
   in
   (* Seed the event queue. *)
   let schedule_arrival time =
@@ -216,50 +256,66 @@ let run ?rng config ~platform =
     | None -> ()
     | Some (time, event) ->
         advance_to time;
-        (match event with
-        | Arrival ->
-            incr arrivals;
-            schedule_arrival time;
-            let task = Workload.Google_trace.sample rng in
-            let true_cpu =
-              config.per_core_need *. float_of_int task.Workload.Google_trace.cores
-            in
-            let est_cpu =
-              if config.max_error = 0. then true_cpu
-              else
-                Float.max 0.001
-                  (true_cpu
-                  +. Prng.Rng.uniform_range rng (-.config.max_error)
-                       config.max_error)
-            in
-            let l =
-              {
-                uid = !next_uid;
-                cores = task.cores;
-                true_cpu;
-                est_cpu;
-                memory = config.memory_scale *. task.memory_fraction;
-                node = -1;
-              }
-            in
-            incr next_uid;
-            if admit l then begin
-              incr admitted;
-              actives := !actives @ [ l ];
-              let lifetime =
-                Prng.Rng.exponential rng ~rate:(1. /. config.mean_lifetime)
+        let epoch =
+          match event with
+          | Arrival ->
+              incr arrivals;
+              Obs.Metrics.incr c_arrivals;
+              schedule_arrival time;
+              let task = Workload.Google_trace.sample rng in
+              let true_cpu =
+                config.per_core_need
+                *. float_of_int task.Workload.Google_trace.cores
               in
-              if time +. lifetime <= config.horizon then
-                Event_queue.add queue ~time:(time +. lifetime)
-                  (Departure l.uid)
-              (* Services outliving the horizon simply never depart. *)
-            end
-            else incr rejected
-        | Departure uid ->
-            incr departures;
-            actives := List.filter (fun (l : live) -> l.uid <> uid) !actives
-        | Reallocate -> reallocate ());
-        record time;
+              let est_cpu =
+                if config.max_error = 0. then true_cpu
+                else
+                  Float.max 0.001
+                    (true_cpu
+                    +. Prng.Rng.uniform_range rng (-.config.max_error)
+                         config.max_error)
+              in
+              let l =
+                {
+                  uid = !next_uid;
+                  cores = task.cores;
+                  true_cpu;
+                  est_cpu;
+                  memory = config.memory_scale *. task.memory_fraction;
+                  node = -1;
+                }
+              in
+              incr next_uid;
+              if admit l then begin
+                incr admitted;
+                Obs.Metrics.incr c_admitted;
+                Active_set.append actives ~uid:l.uid l;
+                state_dirty := true;
+                let lifetime =
+                  Prng.Rng.exponential rng ~rate:(1. /. config.mean_lifetime)
+                in
+                if time +. lifetime <= config.horizon then
+                  Event_queue.add queue ~time:(time +. lifetime)
+                    (Departure l.uid)
+                (* Services outliving the horizon simply never depart. *)
+              end
+              else begin
+                incr rejected;
+                Obs.Metrics.incr c_rejected
+              end;
+              false
+          | Departure uid ->
+              incr departures;
+              Obs.Metrics.incr c_departures;
+              ignore (Active_set.remove actives ~uid);
+              state_dirty := true;
+              false
+          | Reallocate ->
+              reallocate ();
+              state_dirty := true;
+              true
+        in
+        record ~epoch time;
         loop ()
   in
   loop ();

@@ -57,4 +57,17 @@ type stats = {
 
 val run : ?rng:Prng.Rng.t -> config -> platform:Model.Node.t array -> stats
 (** Simulate. Deterministic given the rng (default seed 0). Raises
-    [Invalid_argument] on non-positive horizon, rates, or periods. *)
+    [Invalid_argument] on non-positive horizon, rates, or periods, and on
+    any platform that is empty or not 2-D — the admission path reads the
+    memory capacity at {!Model.Service.mem_dim} and would silently
+    misread any other dimension layout.
+
+    The arrival/departure paths are O(log n) per event (priority-queue
+    discipline plus an O(1) insertion-ordered active set); the minimum
+    yield is re-evaluated only on events that can change it — rejected
+    arrivals reuse the cached value, counted under the
+    [simulator.reeval_skips] metric. With {!Obs.Metrics} enabled the
+    engine also counts arrivals/admissions/rejections/departures/
+    reallocations/migrations and records per-epoch min-yield
+    (permille) and services-per-reallocation histograms; with
+    {!Obs.Trace} enabled each reallocation is a ["reallocate"] span. *)

@@ -1,0 +1,124 @@
+type result = {
+  merged : Engine.stats;
+  per_shard : Engine.stats array;
+}
+
+(* Same recipe as Experiments.Corpus.seed_of_spec: a stable Hashtbl.hash of
+   the identifying tuple, so every shard's stream exists before dispatch
+   and adding shards never perturbs other shards' streams. A single shard
+   keeps the engine's exact stream for drop-in compatibility. *)
+let shard_seed ~seed ~shard ~shards = Hashtbl.hash (seed, shard, shards)
+
+let shard_rng ~seed ~shard ~shards =
+  if shards = 1 then Prng.Rng.create ~seed
+  else Prng.Rng.create ~seed:(shard_seed ~seed ~shard ~shards)
+
+let partition ~shards platform =
+  let h = Array.length platform in
+  if shards < 1 then invalid_arg "Sharded.run: shards must be positive";
+  if shards > h then invalid_arg "Sharded.run: more shards than nodes";
+  Array.init shards (fun s ->
+      let lo = s * h / shards and hi = (s + 1) * h / shards in
+      (* Node ids must be dense per instance (Instance.v), so re-id within
+         the shard; capacities are shared immutably. *)
+      Array.init (hi - lo) (fun i ->
+          Model.Node.v ~id:i ~capacity:platform.(lo + i).Model.Node.capacity))
+
+(* Each shard owns every piece of mutable state it touches: its RNG stream,
+   its node sub-array (fresh ids), and — for the adaptive mode — a fresh
+   controller cloned from the caller's configuration. *)
+let shard_config config =
+  match config.Engine.threshold with
+  | Engine.Fixed _ -> config
+  | Engine.Adaptive c ->
+      {
+        config with
+        Engine.threshold =
+          Engine.Adaptive (Sharing.Adaptive_threshold.fresh c);
+      }
+
+(* Deterministic k-way merge of the per-shard event logs by
+   (time, shard_index): at equal times the lower shard index wins, so the
+   merged log — and the piecewise-constant integral of the global minimum
+   yield computed during the same walk — is a pure function of the
+   per-shard stats, independent of how the shards were scheduled. The
+   float arithmetic below replays Engine.run's [advance_to] accumulation
+   term-for-term, so a single-shard merge is bit-identical to the engine's
+   own integral. *)
+let merge ~horizon (per_shard : Engine.stats array) =
+  let k = Array.length per_shard in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 per_shard in
+  let heads =
+    Array.map (fun (s : Engine.stats) -> ref s.Engine.yield_samples) per_shard
+  in
+  (* Every engine run starts at yield 1 and samples at t = 0, so the
+     initial [current] values are placeholders consumed immediately. *)
+  let current = Array.make k 1. in
+  let global_min () = Array.fold_left Float.min current.(0) current in
+  let integral = ref 0. in
+  let last_time = ref 0. in
+  let samples = ref [] in
+  let next_shard () =
+    let best = ref (-1) and best_time = ref infinity in
+    Array.iteri
+      (fun i head ->
+        match !head with
+        | [] -> ()
+        | (t, _) :: _ ->
+            if t < !best_time then begin
+              best := i;
+              best_time := t
+            end)
+      heads;
+    !best
+  in
+  let rec walk () =
+    match next_shard () with
+    | -1 -> ()
+    | s ->
+        let time, y =
+          match !(heads.(s)) with
+          | sample :: rest ->
+              heads.(s) := rest;
+              sample
+          | [] -> assert false
+        in
+        integral := !integral +. (global_min () *. (time -. !last_time));
+        last_time := time;
+        current.(s) <- y;
+        samples := (time, global_min ()) :: !samples;
+        walk ()
+  in
+  walk ();
+  integral := !integral +. (global_min () *. (horizon -. !last_time));
+  {
+    Engine.arrivals = sum (fun s -> s.Engine.arrivals);
+    admitted = sum (fun s -> s.Engine.admitted);
+    rejected = sum (fun s -> s.Engine.rejected);
+    departures = sum (fun s -> s.Engine.departures);
+    reallocations = sum (fun s -> s.Engine.reallocations);
+    failed_reallocations = sum (fun s -> s.Engine.failed_reallocations);
+    migrations = sum (fun s -> s.Engine.migrations);
+    mean_min_yield = !integral /. horizon;
+    yield_samples = List.rev !samples;
+    final_threshold =
+      Array.fold_left
+        (fun acc (s : Engine.stats) -> Float.max acc s.Engine.final_threshold)
+        per_shard.(0).Engine.final_threshold per_shard;
+  }
+
+let run ?pool ?(seed = 0) ~shards config ~platform =
+  let parts = partition ~shards platform in
+  let indices = Array.init shards (fun s -> s) in
+  let run_one s =
+    Obs.Trace.span "shard" ~args:[ ("shard", string_of_int s) ] @@ fun () ->
+    Engine.run
+      ~rng:(shard_rng ~seed ~shard:s ~shards)
+      (shard_config config) ~platform:parts.(s)
+  in
+  let per_shard =
+    match pool with
+    | Some pool when shards > 1 -> Par.Pool.map pool indices run_one
+    | _ -> Array.map run_one indices
+  in
+  { merged = merge ~horizon:config.Engine.horizon per_shard; per_shard }

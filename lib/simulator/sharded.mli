@@ -1,0 +1,51 @@
+(** Sharded online simulation: many independent node shards, one merged,
+    deterministic event log.
+
+    The platform's nodes are partitioned into [shards] contiguous,
+    disjoint shards; each shard runs its own {!Engine} with its own
+    pre-split RNG stream (derived from [(seed, shard, shards)] with the
+    stable-hash recipe of [Experiments.Corpus.seed_of_spec], so streams
+    exist {e before} dispatch), its own node sub-array, and — in the
+    adaptive mode — its own threshold controller. Because admission,
+    placement, and the run-time scheduler all act per node, shards over
+    disjoint node sets never interact, so the product of the independent
+    simulations {e is} the behaviour of a platform whose resource manager
+    is partitioned — the regime the paper's §8 deployment sketch and the
+    reliability / capacity-allocation lines of related work study at
+    fleet scale.
+
+    Shard runs fan out over an optional {!Par.Pool}; the per-shard stats
+    are returned in shard order whatever the domain count, and the merge
+    walks the per-shard event logs by [(time, shard_index)] — lower shard
+    index wins ties — so the merged stats, the merged log, and any enabled
+    {!Obs.Metrics} snapshot are byte-identical at any [VMALLOC_DOMAINS].
+    With one shard the engine's exact RNG stream is kept, making
+    [run ~shards:1] bit-identical to {!Engine.run}. *)
+
+type result = {
+  merged : Engine.stats;
+      (** Counters summed across shards; [yield_samples] is the
+          [(time, shard)]-merged log whose yield column is the {e global}
+          (min-over-shards) piecewise-constant minimum yield at that
+          instant; [mean_min_yield] integrates that global minimum;
+          [final_threshold] is the max over shards. *)
+  per_shard : Engine.stats array;  (** In shard order. *)
+}
+
+val partition : shards:int -> Model.Node.t array -> Model.Node.t array array
+(** Contiguous balanced partition with per-shard dense node ids. Raises
+    [Invalid_argument] when [shards < 1] or [shards] exceeds the node
+    count. *)
+
+val run :
+  ?pool:Par.Pool.t ->
+  ?seed:int ->
+  shards:int ->
+  Engine.config ->
+  platform:Model.Node.t array ->
+  result
+(** Simulate every shard (in parallel when a pool is given) and merge.
+    Deterministic in [seed] alone — same seed, same stats, at any pool
+    size. [seed] defaults to 0. Raises like {!Engine.run} plus the
+    {!partition} cases. Each shard traces a ["shard"] span when
+    {!Obs.Trace} is enabled. *)

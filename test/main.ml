@@ -21,5 +21,6 @@ let () =
       ("par", Test_par.suite);
       ("obs", Test_obs.suite);
       ("simulator", Test_simulator.suite);
+      ("sharded", Test_sharded.suite);
       ("core-facade", Test_core.suite);
     ]

@@ -1,0 +1,205 @@
+(* Tests for the sharded online simulator: partitioning, the
+   single-shard ≡ engine equivalence, and byte-identical merged stats at
+   any domain count. *)
+
+let platform =
+  Array.init 8 (fun id ->
+      if id < 4 then Model.Node.make_cores ~id ~cores:4 ~cpu:0.4 ~mem:0.4
+      else Model.Node.make_cores ~id ~cores:4 ~cpu:0.8 ~mem:0.8)
+
+let config =
+  {
+    Simulator.Engine.default_config with
+    horizon = 60.;
+    arrival_rate = 1.;
+    mean_lifetime = 15.;
+    reallocation_period = 10.;
+    memory_scale = 0.5;
+  }
+
+let stats_equal (a : Simulator.Engine.stats) (b : Simulator.Engine.stats) =
+  a.arrivals = b.arrivals && a.admitted = b.admitted
+  && a.rejected = b.rejected && a.departures = b.departures
+  && a.reallocations = b.reallocations
+  && a.failed_reallocations = b.failed_reallocations
+  && a.migrations = b.migrations
+  && Int64.bits_of_float a.mean_min_yield
+     = Int64.bits_of_float b.mean_min_yield
+  && Int64.bits_of_float a.final_threshold
+     = Int64.bits_of_float b.final_threshold
+  && List.length a.yield_samples = List.length b.yield_samples
+  && List.for_all2
+       (fun (t1, y1) (t2, y2) ->
+         Int64.bits_of_float t1 = Int64.bits_of_float t2
+         && Int64.bits_of_float y1 = Int64.bits_of_float y2)
+       a.yield_samples b.yield_samples
+
+let test_partition_covers_nodes () =
+  let parts = Simulator.Sharded.partition ~shards:3 platform in
+  Alcotest.(check int) "three shards" 3 (Array.length parts);
+  let sizes = Array.map Array.length parts in
+  Alcotest.(check int) "all nodes covered" (Array.length platform)
+    (Array.fold_left ( + ) 0 sizes);
+  Array.iter
+    (fun shard ->
+      Array.iteri
+        (fun i (n : Model.Node.t) ->
+          Alcotest.(check int) "dense per-shard ids" i n.id)
+        shard)
+    parts;
+  (* Contiguous slices in platform order: concatenating the shard
+     capacities reproduces the platform's capacities. *)
+  let caps =
+    Array.concat (Array.to_list parts)
+    |> Array.map (fun (n : Model.Node.t) -> n.capacity)
+  in
+  Array.iteri
+    (fun i (n : Model.Node.t) ->
+      Alcotest.(check bool) "capacity preserved" true
+        (Vec.Epair.equal n.capacity caps.(i)))
+    platform
+
+let test_partition_validation () =
+  Alcotest.check_raises "zero shards"
+    (Invalid_argument "Sharded.run: shards must be positive") (fun () ->
+      ignore (Simulator.Sharded.partition ~shards:0 platform));
+  Alcotest.check_raises "more shards than nodes"
+    (Invalid_argument "Sharded.run: more shards than nodes") (fun () ->
+      ignore (Simulator.Sharded.run ~shards:9 config ~platform))
+
+let test_single_shard_matches_engine () =
+  let engine =
+    Simulator.Engine.run ~rng:(Prng.Rng.create ~seed:3) config ~platform
+  in
+  let sharded = Simulator.Sharded.run ~seed:3 ~shards:1 config ~platform in
+  Alcotest.(check bool) "merged = engine stats" true
+    (stats_equal engine sharded.merged);
+  Alcotest.(check int) "one per-shard entry" 1
+    (Array.length sharded.per_shard);
+  Alcotest.(check bool) "per-shard = merged" true
+    (stats_equal sharded.merged sharded.per_shard.(0))
+
+let test_merged_consistency () =
+  let r = Simulator.Sharded.run ~seed:5 ~shards:4 config ~platform in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 r.per_shard in
+  Alcotest.(check int) "arrivals sum"
+    (sum (fun (s : Simulator.Engine.stats) -> s.arrivals))
+    r.merged.arrivals;
+  Alcotest.(check int) "admitted sum"
+    (sum (fun (s : Simulator.Engine.stats) -> s.admitted))
+    r.merged.admitted;
+  Alcotest.(check int) "samples merged"
+    (sum (fun (s : Simulator.Engine.stats) -> List.length s.yield_samples))
+    (List.length r.merged.yield_samples);
+  (* The merged log is chronological and its yield column is the global
+     min over shards, so it can never exceed any shard's sample at the
+     same instant. *)
+  let rec chronological = function
+    | (t1, _) :: ((t2, _) :: _ as rest) -> t1 <= t2 && chronological rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "merged log chronological" true
+    (chronological r.merged.yield_samples);
+  Alcotest.(check bool) "yield in range" true
+    (List.for_all
+       (fun (_, y) -> y >= 0. && y <= 1. +. 1e-9)
+       r.merged.yield_samples);
+  Alcotest.(check bool) "mean yield in range" true
+    (r.merged.mean_min_yield >= 0.
+    && r.merged.mean_min_yield <= 1. +. 1e-9)
+
+let test_same_seed_twice () =
+  let a = Simulator.Sharded.run ~seed:11 ~shards:4 config ~platform in
+  let b = Simulator.Sharded.run ~seed:11 ~shards:4 config ~platform in
+  Alcotest.(check bool) "identical merged stats" true
+    (stats_equal a.merged b.merged)
+
+(* The acceptance property: merged stats and event logs are byte-identical
+   at VMALLOC_DOMAINS = 1, 2, and 4. *)
+let test_domain_count_invariance () =
+  let sequential =
+    Simulator.Sharded.run ~seed:7 ~shards:4 config ~platform
+  in
+  List.iter
+    (fun domains ->
+      let pooled =
+        Par.Pool.with_pool ~domains (fun pool ->
+            Simulator.Sharded.run ~pool ~seed:7 ~shards:4 config ~platform)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "identical at %d domains" domains)
+        true
+        (stats_equal sequential.merged pooled.merged);
+      Array.iteri
+        (fun i per ->
+          Alcotest.(check bool)
+            (Printf.sprintf "shard %d identical at %d domains" i domains)
+            true
+            (stats_equal sequential.per_shard.(i) per))
+        pooled.per_shard)
+    [ 1; 2; 4 ]
+
+(* Metric snapshots of a sharded run must also be domain-count invariant:
+   each shard counts into its own task sink and Pool.map merges the sinks
+   in shard order. *)
+let test_metrics_domain_invariance () =
+  let was_enabled = Obs.Metrics.enabled () in
+  Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled was_enabled)
+  @@ fun () ->
+  let snapshot domains =
+    Obs.Metrics.set_enabled false;
+    Obs.Metrics.reset ();
+    Obs.Metrics.set_enabled true;
+    (if domains = 1 then
+       ignore (Simulator.Sharded.run ~seed:13 ~shards:4 config ~platform)
+     else
+       Par.Pool.with_pool ~domains (fun pool ->
+           ignore
+             (Simulator.Sharded.run ~pool ~seed:13 ~shards:4 config
+                ~platform)));
+    Obs.Metrics.set_enabled false;
+    Obs.Metrics.Snapshot.render (Obs.Metrics.snapshot ())
+  in
+  let reference = snapshot 1 in
+  Alcotest.(check bool) "some metrics recorded" true
+    (String.length reference > 0);
+  List.iter
+    (fun domains ->
+      Alcotest.(check string)
+        (Printf.sprintf "snapshot at %d domains" domains)
+        reference (snapshot domains))
+    [ 2; 4 ]
+
+let test_adaptive_sharded_runs () =
+  (* Each shard gets a fresh controller; the merged final threshold is the
+     max over shards and must have moved under estimation error. *)
+  let r =
+    Simulator.Sharded.run ~seed:2 ~shards:2
+      {
+        config with
+        max_error = 0.1;
+        threshold =
+          Simulator.Engine.Adaptive
+            (Sharing.Adaptive_threshold.create ~quantile:90. ());
+      }
+      ~platform
+  in
+  Alcotest.(check bool) "threshold moved" true (r.merged.final_threshold > 0.);
+  Array.iter
+    (fun (s : Simulator.Engine.stats) ->
+      Alcotest.(check bool) "merged >= shard threshold" true
+        (r.merged.final_threshold >= s.final_threshold))
+    r.per_shard
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("partition covers nodes", test_partition_covers_nodes);
+      ("partition validation", test_partition_validation);
+      ("single shard matches engine", test_single_shard_matches_engine);
+      ("merged stats consistency", test_merged_consistency);
+      ("same seed twice", test_same_seed_twice);
+      ("domain-count invariance", test_domain_count_invariance);
+      ("metrics domain invariance", test_metrics_domain_invariance);
+      ("adaptive sharded runs", test_adaptive_sharded_runs);
+    ]

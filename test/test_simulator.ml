@@ -31,6 +31,31 @@ let test_queue_tie_break_fifo () =
   | Some (_, x) -> Alcotest.(check string) "then second" "second" x
   | None -> Alcotest.fail "empty"
 
+(* FIFO tie-break as a property: with any mix of (possibly equal)
+   timestamps — including enough entries to force several heap growths past
+   the initial capacity of 16 — equal times must pop in insertion order,
+   i.e. the pop sequence is exactly the stable sort of the input. *)
+let prop_queue_fifo_ties =
+  QCheck2.Test.make ~name:"event queue pops equal times in insertion order"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 4))
+    (fun times ->
+      let q = Simulator.Event_queue.create () in
+      List.iteri
+        (fun i t -> Simulator.Event_queue.add q ~time:(float_of_int t) i)
+        times;
+      let rec drain acc =
+        match Simulator.Event_queue.pop_min q with
+        | None -> List.rev acc
+        | Some (t, i) -> drain ((t, i) :: acc)
+      in
+      let expected =
+        List.stable_sort
+          (fun (t1, _) (t2, _) -> Float.compare t1 t2)
+          (List.mapi (fun i t -> (float_of_int t, i)) times)
+      in
+      drain [] = expected)
+
 let prop_queue_sorts =
   QCheck2.Test.make ~name:"event queue pops in time order" ~count:200
     QCheck2.Gen.(list_size (int_range 0 100) (float_bound_inclusive 1000.))
@@ -92,6 +117,77 @@ let test_adaptive_validation () =
     (fun () ->
       Sharing.Adaptive_threshold.observe c ~estimated:[| 1. |] ~actual:[||])
 
+(* Active set: the engine's O(1) replacement for its former list ref. *)
+
+let test_active_set_order () =
+  let s = Simulator.Active_set.create () in
+  List.iter (fun uid -> Simulator.Active_set.append s ~uid (uid * 10))
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "insertion order" [ 10; 20; 30; 40; 50 ]
+    (Simulator.Active_set.to_list s);
+  Alcotest.(check bool) "remove middle" true
+    (Simulator.Active_set.remove s ~uid:3);
+  Alcotest.(check bool) "remove head" true
+    (Simulator.Active_set.remove s ~uid:1);
+  Alcotest.(check (list int)) "order preserved" [ 20; 40; 50 ]
+    (Simulator.Active_set.to_list s);
+  Simulator.Active_set.append s ~uid:6 60;
+  Alcotest.(check (list int)) "append after removals" [ 20; 40; 50; 60 ]
+    (Array.to_list (Simulator.Active_set.to_array s));
+  Alcotest.(check bool) "remove tail" true
+    (Simulator.Active_set.remove s ~uid:6);
+  Alcotest.(check (list int)) "tail gone" [ 20; 40; 50 ]
+    (Simulator.Active_set.to_list s);
+  Alcotest.(check int) "length" 3 (Simulator.Active_set.length s)
+
+let test_active_set_missing_and_duplicates () =
+  let s = Simulator.Active_set.create () in
+  Simulator.Active_set.append s ~uid:7 "x";
+  Alcotest.(check bool) "missing uid" false
+    (Simulator.Active_set.remove s ~uid:8);
+  Alcotest.(check bool) "mem" true (Simulator.Active_set.mem s ~uid:7);
+  Alcotest.check_raises "duplicate uid"
+    (Invalid_argument "Active_set.append: duplicate uid") (fun () ->
+      Simulator.Active_set.append s ~uid:7 "y");
+  Alcotest.(check bool) "remove" true (Simulator.Active_set.remove s ~uid:7);
+  Alcotest.(check bool) "now empty" true (Simulator.Active_set.is_empty s);
+  Alcotest.(check (list string)) "empty array" []
+    (Array.to_list (Simulator.Active_set.to_array s));
+  (* Re-adding a removed uid is fine. *)
+  Simulator.Active_set.append s ~uid:7 "z";
+  Alcotest.(check (list string)) "readded" [ "z" ]
+    (Simulator.Active_set.to_list s)
+
+(* A random interleaving of appends and removals must match the
+   list-reference semantics ([@ [x]] / List.filter) element for element. *)
+let prop_active_set_matches_list =
+  QCheck2.Test.make ~name:"active set ≡ list append/filter semantics"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 0 120) (int_range 0 30))
+    (fun ops ->
+      let s = Simulator.Active_set.create () in
+      let reference = ref [] in
+      let next = ref 0 in
+      List.iter
+        (fun op ->
+          if op < 20 then begin
+            (* append a fresh uid *)
+            let uid = !next in
+            incr next;
+            Simulator.Active_set.append s ~uid uid;
+            reference := !reference @ [ uid ]
+          end
+          else begin
+            (* remove the op-th oldest live uid, when it exists *)
+            match List.nth_opt !reference (op - 20) with
+            | None -> ()
+            | Some uid ->
+                ignore (Simulator.Active_set.remove s ~uid);
+                reference := List.filter (fun u -> u <> uid) !reference
+          end)
+        ops;
+      Simulator.Active_set.to_list s = !reference)
+
 (* Engine. *)
 
 let platform =
@@ -131,6 +227,102 @@ let test_engine_deterministic () =
   Alcotest.(check int) "same arrivals" a.arrivals b.arrivals;
   Alcotest.(check int) "same migrations" a.migrations b.migrations;
   check_float "same yield" a.mean_min_yield b.mean_min_yield
+
+(* Golden byte-identity: these numbers were captured from the engine
+   *before* the active-set / admission / re-evaluation hot-path rework, so
+   they pin down that the rework changed no observable behaviour — counters,
+   the time-averaged yield to the last bit, and an order-sensitive digest of
+   the full (time, yield) event log. *)
+
+let samples_digest samples =
+  List.fold_left
+    (fun acc (t, y) ->
+      let mix acc v =
+        Int64.add (Int64.mul acc 1000003L) (Int64.bits_of_float v)
+      in
+      mix (mix acc t) y)
+    0L samples
+
+let check_golden name ~arrivals ~admitted ~rejected ~departures
+    ~reallocations ~migrations ~yield_bits ~samples ~digest
+    (stats : Simulator.Engine.stats) =
+  Alcotest.(check int) (name ^ " arrivals") arrivals stats.arrivals;
+  Alcotest.(check int) (name ^ " admitted") admitted stats.admitted;
+  Alcotest.(check int) (name ^ " rejected") rejected stats.rejected;
+  Alcotest.(check int) (name ^ " departures") departures stats.departures;
+  Alcotest.(check int) (name ^ " reallocations") reallocations
+    stats.reallocations;
+  Alcotest.(check int) (name ^ " migrations") migrations stats.migrations;
+  Alcotest.(check int64) (name ^ " yield bits") yield_bits
+    (Int64.bits_of_float stats.mean_min_yield);
+  Alcotest.(check int) (name ^ " samples") samples
+    (List.length stats.yield_samples);
+  Alcotest.(check int64) (name ^ " log digest") digest
+    (samples_digest stats.yield_samples)
+
+let test_engine_golden_seed0 () =
+  check_golden "quick" ~arrivals:20 ~admitted:20 ~rejected:0 ~departures:14
+    ~reallocations:5 ~migrations:11 ~yield_bits:4607182418800017408L
+    ~samples:40 ~digest:4191249768112089187L
+    (Simulator.Engine.run ~rng:(Prng.Rng.create ~seed:0) quick_config
+       ~platform)
+
+let test_engine_golden_seed0_rejecting () =
+  (* The tiny-platform scenario exercises the rejected-arrival skip path
+     (56 rejections), so its digest additionally proves the skip changes
+     no sample. *)
+  let tiny =
+    [| Model.Node.make_cores ~id:0 ~cores:4 ~cpu:0.6 ~mem:0.05 |]
+  in
+  check_golden "tiny" ~arrivals:76 ~admitted:20 ~rejected:56 ~departures:17
+    ~reallocations:7 ~migrations:0 ~yield_bits:4605462041597444841L
+    ~samples:101 ~digest:9066990573517124366L
+    (Simulator.Engine.run ~rng:(Prng.Rng.create ~seed:0)
+       { quick_config with horizon = 60.; arrival_rate = 1. }
+       ~platform:tiny)
+
+let test_engine_rejects_non_2d_platform () =
+  let platform_3d =
+    [|
+      Model.Node.v ~id:0
+        ~capacity:
+          (Vec.Epair.uniform (Vec.Vector.of_array [| 0.5; 0.5; 0.5 |]));
+    |]
+  in
+  Alcotest.check_raises "3-D platform"
+    (Invalid_argument "Engine.run: platform must be 2-D (CPU, memory)")
+    (fun () ->
+      ignore (Simulator.Engine.run quick_config ~platform:platform_3d));
+  Alcotest.check_raises "empty platform"
+    (Invalid_argument "Engine.run: empty platform") (fun () ->
+      ignore (Simulator.Engine.run quick_config ~platform:[||]))
+
+let test_engine_reeval_skips_counted () =
+  let was_enabled = Obs.Metrics.enabled () in
+  Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled was_enabled)
+  @@ fun () ->
+  Obs.Metrics.set_enabled false;
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  let tiny =
+    [| Model.Node.make_cores ~id:0 ~cores:4 ~cpu:0.6 ~mem:0.05 |]
+  in
+  let stats =
+    Simulator.Engine.run ~rng:(Prng.Rng.create ~seed:0)
+      { quick_config with horizon = 60.; arrival_rate = 1. }
+      ~platform:tiny
+  in
+  Obs.Metrics.set_enabled false;
+  let snap = Obs.Metrics.snapshot () in
+  Alcotest.(check bool) "rejections happened" true (stats.rejected > 0);
+  (* Exactly the rejected arrivals skip the re-evaluation — no more (every
+     other event re-evaluates) and no fewer. *)
+  Alcotest.(check int) "skips = rejections" stats.rejected
+    (Obs.Metrics.Snapshot.counter_value snap "simulator.reeval_skips");
+  Alcotest.(check int) "rejected counter" stats.rejected
+    (Obs.Metrics.Snapshot.counter_value snap "simulator.rejected");
+  Alcotest.(check int) "admitted counter" stats.admitted
+    (Obs.Metrics.Snapshot.counter_value snap "simulator.admitted")
 
 let test_engine_perfect_estimates_beat_caps_with_error () =
   (* With zero error all policies coincide on yields at reallocation
@@ -189,6 +381,8 @@ let suite =
     [
       ("event queue ordering", test_queue_ordering);
       ("event queue FIFO ties", test_queue_tie_break_fifo);
+      ("active set order", test_active_set_order);
+      ("active set missing/duplicates", test_active_set_missing_and_duplicates);
       ("adaptive initial", test_adaptive_initial);
       ("adaptive tracks error", test_adaptive_tracks_error);
       ("adaptive clamped", test_adaptive_clamped);
@@ -196,9 +390,14 @@ let suite =
       ("adaptive validation", test_adaptive_validation);
       ("engine runs", test_engine_runs);
       ("engine deterministic", test_engine_deterministic);
+      ("engine golden seed 0", test_engine_golden_seed0);
+      ("engine golden seed 0 (rejecting)", test_engine_golden_seed0_rejecting);
+      ("engine rejects non-2D platform", test_engine_rejects_non_2d_platform);
+      ("engine re-eval skips counted", test_engine_reeval_skips_counted);
       ("weights >= caps under error", test_engine_perfect_estimates_beat_caps_with_error);
       ("engine rejects when full", test_engine_rejects_when_full);
       ("adaptive threshold moves", test_engine_adaptive_threshold_moves);
       ("engine validation", test_engine_validation);
     ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_queue_sorts ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_queue_sorts; prop_queue_fifo_ties; prop_active_set_matches_list ]
