@@ -26,6 +26,7 @@ let pack_at_yield strategy instance y =
 let c_oracle = Obs.Metrics.counter "vp_solver.oracle_calls"
 let c_feasible = Obs.Metrics.counter "vp_solver.oracle_feasible"
 let c_attempts = Obs.Metrics.counter "vp_solver.strategy_attempts"
+let c_pruned = Obs.Metrics.counter "vp_solver.strategies_pruned"
 let h_win_index = Obs.Metrics.histogram "vp_solver.strategies_per_win"
 
 let win_counter strategy =
@@ -69,6 +70,180 @@ let probe_multi strategies instance y =
   in
   attempt 1 strategies
 
+(* Probe-shared packing kernel (DESIGN.md §11). Every strategy attempt of
+   one fixed-yield probe sees the same item demands, so the kernel builds
+   the item array once per solve and refills its demand vectors in place
+   per probe (a fused [r + y*n] pass over the instance's flattened
+   buffers), recycles one bin array via [Bin.reset] instead of
+   reallocating per attempt, and memoizes per-probe sort orders and
+   Permutation-Pack item permutations through [Strategy.cache].
+
+   Bit-identity with the naive path: refilled demands use the exact
+   [axpy] expression fresh allocation uses; reset bins equal fresh bins;
+   memoized sorts are the same stable sorts over the same values; and the
+   scratch-backed Permutation-Pack selection compares the same keys with
+   the same tie-breaks. Locked down by test_kernel_diff.ml.
+
+   Monotone strategy pruning — skip a strategy at probe [y] once it has
+   failed at some [y' <= y] — is also implemented, but as an *opt-in*
+   ([~prune:true] / VMALLOC_PROBE_PRUNE=1). Its premise, per-strategy
+   monotone feasibility, is strictly stronger than the combined-oracle
+   monotonicity the binary search assumes, and differential sweeps at
+   Table-1 scale falsified it: packing heuristics are anomalous, so a
+   strategy that fails at [y'] can succeed at [y > y'] when its sort
+   order flips, and an exact skip-with-verification scheme would re-run
+   every skipped attempt and save nothing. Measured on the Table-1
+   workload the rule fires a handful of times per solve (feasible probes
+   win at index ~1-2; infeasible probes arrive in decreasing yield order,
+   so their failures never enable a skip), so the default path gives up
+   almost nothing by leaving it off — and keeps its outputs bit-identical
+   to the naive path. *)
+type kernel = {
+  k_instance : Model.Instance.t;
+  k_items : Packing.Item.t array;
+  k_bins : Packing.Bin.t array;
+  k_cache : Packing.Strategy.cache;
+  k_fail : float array;
+      (* per strategy: lowest yield this solve has seen it fail at *)
+  mutable k_yield : float;  (* yield k_items currently hold; nan = none *)
+}
+
+let make_kernel instance ~n_strategies =
+  let dims = instance.Model.Instance.dims in
+  {
+    k_instance = instance;
+    k_items =
+      Array.init (Model.Instance.n_services instance) (fun j ->
+          Packing.Item.v ~id:j ~demand:(Vec.Epair.zero dims));
+    k_bins = fresh_bins instance;
+    k_cache = Packing.Strategy.cache ();
+    k_fail = Array.make (max 1 n_strategies) infinity;
+    k_yield = Float.nan;
+  }
+
+let refill k yld =
+  if not (k.k_yield = yld) then begin
+    let inst = k.k_instance in
+    let dims = inst.Model.Instance.dims in
+    Array.iteri
+      (fun j (it : Packing.Item.t) ->
+        let off = j * dims in
+        Vec.Vector.axpy_fill it.Packing.Item.demand.Vec.Epair.elementary yld
+          ~x:inst.Model.Instance.need_elem ~y:inst.Model.Instance.req_elem
+          ~off;
+        Vec.Vector.axpy_fill it.Packing.Item.demand.Vec.Epair.aggregate yld
+          ~x:inst.Model.Instance.need_agg ~y:inst.Model.Instance.req_agg ~off)
+      k.k_items;
+    Packing.Strategy.cache_new_probe k.k_cache;
+    k.k_yield <- yld
+  end
+
+(* Per-domain kernel slot. The speculative probe search evaluates one
+   solve's probes on several domains at once, so the scratch must be
+   domain-local; a single global DLS key holding the latest solve's kernel
+   (keyed by a unique per-solve token) keeps it single-writer without
+   locks and without growing domain-local storage per solve. Results are
+   domain-count independent — every kernel computes the same bits — only
+   the pruning/memo *hit* counters can vary with probe-task placement,
+   like [binary_search.speculative_waste] already does. *)
+let kernel_slot : (int * kernel) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let solve_tokens = Atomic.make 0
+
+let kernel_for ~token instance ~n_strategies =
+  match Domain.DLS.get kernel_slot with
+  | Some (t, k) when t = token -> k
+  | _ ->
+      let k = make_kernel instance ~n_strategies in
+      Domain.DLS.set kernel_slot (Some (token, k));
+      k
+
+let attempt_kernel k strategy ~prune ~index ~yld =
+  if prune && k.k_fail.(index) <= yld then begin
+    Obs.Metrics.incr c_pruned;
+    None
+  end
+  else begin
+    Obs.Metrics.incr c_attempts;
+    Array.iter Packing.Bin.reset k.k_bins;
+    match
+      Packing.Strategy.run ~cache:k.k_cache strategy ~bins:k.k_bins
+        ~items:k.k_items
+    with
+    | None ->
+        if yld < k.k_fail.(index) then k.k_fail.(index) <- yld;
+        None
+    | some -> some
+  end
+
+let probe_single_kernel ~token strategy instance yld =
+  Obs.Trace.span "probe" ~args:(probe_args yld) @@ fun () ->
+  Obs.Metrics.incr c_oracle;
+  let k = kernel_for ~token instance ~n_strategies:1 in
+  refill k yld;
+  match attempt_kernel k strategy ~prune:false ~index:0 ~yld with
+  | None -> None
+  | Some placement ->
+      if Obs.Metrics.enabled () then begin
+        Obs.Metrics.incr c_feasible;
+        Obs.Metrics.incr (win_counter strategy);
+        Obs.Metrics.observe h_win_index 1
+      end;
+      Some placement
+
+let probe_multi_kernel ~token ~prune strategies ~n_strategies instance yld =
+  Obs.Trace.span "probe" ~args:(probe_args yld) @@ fun () ->
+  Obs.Metrics.incr c_oracle;
+  let k = kernel_for ~token instance ~n_strategies in
+  refill k yld;
+  (* [idx] counts performed attempts (the strategies_per_win bill);
+     [i] indexes the full list for the pruning table. *)
+  let rec attempt i idx = function
+    | [] -> None
+    | strategy :: rest -> (
+        let skipped = prune && k.k_fail.(i) <= yld in
+        match attempt_kernel k strategy ~prune ~index:i ~yld with
+        | None -> attempt (i + 1) (if skipped then idx else idx + 1) rest
+        | Some placement ->
+            if Obs.Metrics.enabled () then begin
+              Obs.Metrics.incr c_feasible;
+              Obs.Metrics.incr (win_counter strategy);
+              Obs.Metrics.observe h_win_index idx
+            end;
+            Obs.Trace.instant "win"
+              ~args:
+                (("strategy", Packing.Strategy.name strategy)
+                :: probe_args yld);
+            Some placement)
+  in
+  attempt 0 1 strategies
+
+(* VMALLOC_NO_PROBE_CACHE=1 restores the naive fresh-allocation probe path
+   (no shared scratch, no sort memos, no pruning) — the escape hatch the
+   differential tests diff against. Read per solve so tests can toggle it;
+   the [?kernel] argument overrides the environment either way. *)
+let kernel_disabled_env () =
+  match Sys.getenv_opt "VMALLOC_NO_PROBE_CACHE" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let use_kernel = function
+  | Some choice -> choice
+  | None -> not (kernel_disabled_env ())
+
+(* Monotone pruning is opt-in (see the kernel comment above): default off,
+   enabled per process with VMALLOC_PROBE_PRUNE=1 or per solve with
+   [~prune:true]; the argument overrides the environment either way. *)
+let prune_enabled_env () =
+  match Sys.getenv_opt "VMALLOC_PROBE_PRUNE" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let use_prune = function
+  | Some choice -> choice
+  | None -> prune_enabled_env ()
+
 let evaluate instance placement =
   match Model.Placement.min_yield instance placement with
   | None -> None
@@ -78,24 +253,38 @@ let finish instance = function
   | None -> None
   | Some (placement, _probed_yield) -> evaluate instance placement
 
-(* Probe oracles are pure (fresh items and bins per call, the instance is
-   read-only), so a pool of size > 1 can run the speculative multi-probe
-   search and still return bit-identical results. *)
+(* Probe oracles are pure as observed from outside (the kernel's scratch
+   is domain-local and every domain computes identical bits; the naive
+   path allocates fresh items and bins per call), so a pool of size > 1
+   can run the speculative multi-probe search and still return
+   bit-identical results. *)
 let search ?tolerance ?pool ?on_round oracle =
   match pool with
   | Some pool when Par.Pool.size pool > 1 ->
       Binary_search.maximize_par ?tolerance ?on_round ~pool oracle
   | Some _ | None -> Binary_search.maximize ?tolerance ?on_round oracle
 
-let solve ?tolerance ?pool ?on_round strategy instance =
+let solve ?tolerance ?pool ?on_round ?kernel strategy instance =
   Obs.Trace.span "solve" ~args:[ ("strategy", Packing.Strategy.name strategy) ]
   @@ fun () ->
-  search ?tolerance ?pool ?on_round (probe_single strategy instance)
-  |> finish instance
+  let oracle =
+    if use_kernel kernel then
+      let token = Atomic.fetch_and_add solve_tokens 1 in
+      probe_single_kernel ~token strategy instance
+    else probe_single strategy instance
+  in
+  search ?tolerance ?pool ?on_round oracle |> finish instance
 
-let solve_multi ?tolerance ?pool ?on_round strategies instance =
+let solve_multi ?tolerance ?pool ?on_round ?kernel ?prune strategies instance =
   Obs.Trace.span "solve_multi"
     ~args:[ ("strategies", string_of_int (List.length strategies)) ]
   @@ fun () ->
-  search ?tolerance ?pool ?on_round (probe_multi strategies instance)
-  |> finish instance
+  let oracle =
+    if use_kernel kernel then
+      let token = Atomic.fetch_and_add solve_tokens 1 in
+      probe_multi_kernel ~token ~prune:(use_prune prune) strategies
+        ~n_strategies:(List.length strategies)
+        instance
+    else probe_multi strategies instance
+  in
+  search ?tolerance ?pool ?on_round oracle |> finish instance

@@ -8,6 +8,16 @@ let pivot_tol = 1e-9
 
 let reduced_cost_tol = 1e-9
 
+(* Simplex work counters (lib/obs): total pivots across both phases,
+   phase-1 pricing iterations (how much of the bill is spent just finding
+   a feasible basis), and degenerate pivots — leaving row with rhs ≈ 0,
+   the steps that change the basis without moving the solution and make
+   cycling protection (Bland's rule) necessary. Zero-cost when metrics
+   are disabled. *)
+let c_pivots = Obs.Metrics.counter "simplex.pivots"
+let c_phase1_iters = Obs.Metrics.counter "simplex.phase1_iterations"
+let c_degenerate = Obs.Metrics.counter "simplex.degenerate_pivots"
+
 (* Internal row form: dense coefficients over the structural variables,
    relation and rhs, after lower-bound shifting and rhs sign normalization
    are applied by [prepare]. *)
@@ -113,7 +123,10 @@ let build_tableau n rows =
   }
 
 let pivot tab ~row ~col =
+  Obs.Metrics.incr c_pivots;
   let t = tab.t and n_cols = tab.n_cols in
+  if Float.abs t.(row).(n_cols) <= feasibility_tol then
+    Obs.Metrics.incr c_degenerate;
   let pr = t.(row) in
   let piv = pr.(col) in
   for j = 0 to n_cols do
@@ -139,7 +152,7 @@ exception Unbounded_direction
    columns (artificials in phase 2) from entering. Minimization convention:
    entering columns have reduced cost < -tol. Returns unit; raises
    [Unbounded_direction] when a column can decrease forever. *)
-let run_phase ?(blocked = fun _ -> false) ~max_iterations tab =
+let run_phase ?(blocked = fun _ -> false) ?iters_counter ~max_iterations tab =
   let m = Array.length tab.t and n_cols = tab.n_cols in
   let bland_after = max 5_000 (10 * (m + n_cols)) in
   let iters = ref 0 in
@@ -187,6 +200,9 @@ let run_phase ?(blocked = fun _ -> false) ~max_iterations tab =
   in
   let rec loop () =
     incr iters;
+    (match iters_counter with
+    | Some c -> Obs.Metrics.incr c
+    | None -> ());
     if !iters > max_iterations then
       failwith "Lp.Simplex: iteration limit exceeded";
     match choose_entering () with
@@ -250,7 +266,7 @@ let solve ?max_iterations (p : Problem.t) =
     phase1_cost.(j) <- 1.
   done;
   set_objective tab phase1_cost;
-  (match run_phase ~max_iterations tab with
+  (match run_phase ~iters_counter:c_phase1_iters ~max_iterations tab with
   | () -> ()
   | exception Unbounded_direction ->
       (* Phase 1 objective is bounded below by 0; cannot happen. *)

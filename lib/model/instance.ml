@@ -2,7 +2,25 @@ type t = {
   nodes : Node.t array;
   services : Service.t array;
   dims : int;
+  req_elem : float array;
+  req_agg : float array;
+  need_elem : float array;
+  need_agg : float array;
 }
+
+(* Service j's vectors, flattened at offset j*dims: the probe kernel's
+   demand fill reads these contiguously instead of chasing per-service
+   epair records. *)
+let flatten dims services proj =
+  let buf = Array.make (Array.length services * dims) 0. in
+  Array.iteri
+    (fun j s ->
+      let v = proj s in
+      for d = 0 to dims - 1 do
+        buf.((j * dims) + d) <- Vec.Vector.get v d
+      done)
+    services;
+  buf
 
 let v ~nodes ~services =
   if Array.length nodes = 0 then invalid_arg "Instance.v: no nodes";
@@ -20,7 +38,19 @@ let v ~nodes ~services =
       if Service.dim s <> dims then
         invalid_arg "Instance.v: service dim mismatch")
     services;
-  { nodes; services; dims }
+  {
+    nodes;
+    services;
+    dims;
+    req_elem =
+      flatten dims services (fun s -> s.Service.requirement.Vec.Epair.elementary);
+    req_agg =
+      flatten dims services (fun s -> s.Service.requirement.Vec.Epair.aggregate);
+    need_elem =
+      flatten dims services (fun s -> s.Service.need.Vec.Epair.elementary);
+    need_agg =
+      flatten dims services (fun s -> s.Service.need.Vec.Epair.aggregate);
+  }
 
 let n_nodes t = Array.length t.nodes
 let n_services t = Array.length t.services

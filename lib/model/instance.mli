@@ -4,6 +4,14 @@ type t = private {
   nodes : Node.t array;
   services : Service.t array;
   dims : int;
+  req_elem : float array;
+      (** Service requirements (elementary), flattened: service [j]'s
+          dimension [d] lives at [j*dims + d]. Never mutated after
+          construction; the probe kernel's fused demand fill reads these
+          four buffers contiguously. *)
+  req_agg : float array;  (** Requirements (aggregate), same layout. *)
+  need_elem : float array;  (** Needs (elementary), same layout. *)
+  need_agg : float array;  (** Needs (aggregate), same layout. *)
 }
 
 val v : nodes:Node.t array -> services:Service.t array -> t

@@ -38,7 +38,146 @@ let compare_keys flavour ~window a b =
   in
   compare (view a) (view b)
 
-let pack ?(flavour = Permutation) ?window ?(ranking = By_load) ~bins ~items () =
+(* Probe-shared scratch (DESIGN.md §11). An item's descending dimension
+   permutation depends only on its demand vector, which is fixed for the
+   whole fixed-yield probe, so the kernel computes it once per (probe,
+   item) instead of once per candidate key — across METAHVP's 121
+   Permutation-Pack attempts that removes the dominant allocation in the
+   probe bill. The remaining per-select-pass state (bin dimension ranks,
+   comparison windows) lives in reusable buffers. A scratch belongs to one
+   strategy cache and must only be used from one domain at a time. *)
+type scratch = {
+  mutable perms : int array array;
+      (* item id -> descending dimension permutation of its aggregate
+         demand; [||] = not yet computed this probe *)
+  mutable pos : int array;  (* dimension -> rank in the bin's order *)
+  mutable vals : float array;  (* per-dimension sort values *)
+  mutable order : int array;  (* dimension permutation being built *)
+  mutable key_a : int array;  (* Choose-flavour window views *)
+  mutable key_b : int array;
+}
+
+let scratch () =
+  { perms = [||]; pos = [||]; vals = [||]; order = [||]; key_a = [||];
+    key_b = [||] }
+
+let scratch_new_probe s = Array.fill s.perms 0 (Array.length s.perms) [||]
+
+let ensure_capacity s ~n_items ~dims =
+  if Array.length s.perms < n_items then s.perms <- Array.make n_items [||];
+  if Array.length s.pos < dims then begin
+    s.pos <- Array.make dims 0;
+    s.vals <- Array.make dims 0.;
+    s.order <- Array.make dims 0;
+    s.key_a <- Array.make dims 0;
+    s.key_b <- Array.make dims 0
+  end
+
+(* Stable insertion sort of dimension indices over [s.vals] — the unique
+   stable result, hence identical to the [Array.stable_sort] inside
+   [Vector.permutation_asc]/[permutation_desc] under the same
+   comparator. *)
+let fill_order ~desc s d =
+  let order = s.order and vals = s.vals in
+  for i = 0 to d - 1 do
+    order.(i) <- i
+  done;
+  for i = 1 to d - 1 do
+    let x = order.(i) in
+    let j = ref (i - 1) in
+    while
+      !j >= 0
+      &&
+      let c =
+        if desc then Float.compare vals.(x) vals.(order.(!j))
+        else Float.compare vals.(order.(!j)) vals.(x)
+      in
+      c > 0
+    do
+      order.(!j + 1) <- order.(!j);
+      decr j
+    done;
+    order.(!j + 1) <- x
+  done
+
+(* [s.pos] := the same ranks [bin_positions] computes, without the load /
+   remaining vector copies ([s.vals] is filled with the very expressions
+   [Bin.load_vector] / [Bin.remaining] use). *)
+let fill_positions ranking s (bin : Bin.t) =
+  let d = Bin.dim bin in
+  (match ranking with
+  | By_load ->
+      for i = 0 to d - 1 do
+        s.vals.(i) <- bin.Bin.load.(i)
+      done;
+      fill_order ~desc:false s d
+  | By_remaining_capacity ->
+      let cap = bin.Bin.capacity.Vec.Epair.aggregate in
+      for i = 0 to d - 1 do
+        s.vals.(i) <-
+          Float.max 0. (Vec.Vector.get cap i -. bin.Bin.load.(i))
+      done;
+      fill_order ~desc:true s d);
+  for r = 0 to d - 1 do
+    s.pos.(s.order.(r)) <- r
+  done
+
+let item_perm s (item : Item.t) =
+  let id = item.Item.id in
+  let p = s.perms.(id) in
+  if p != [||] then p
+  else begin
+    let p = Vec.Vector.permutation_desc (Item.size item) in
+    s.perms.(id) <- p;
+    p
+  end
+
+(* Compare two candidate keys without materializing them: key.(k) =
+   pos.(perm.(k)), lexicographic over the first [w] entries
+   ([compare_keys] always sees equal-length views, so polymorphic compare
+   there is exactly this element-wise order). Choose-flavour views are
+   sorted multisets, so any correct sort of the window matches
+   [Array.sort] inside [compare_keys]. *)
+let compare_perms flavour ~w s pa pb =
+  let pos = s.pos in
+  match flavour with
+  | Permutation ->
+      let rec lex k =
+        if k >= w then 0
+        else
+          let c = Int.compare pos.(pa.(k)) pos.(pb.(k)) in
+          if c <> 0 then c else lex (k + 1)
+      in
+      lex 0
+  | Choose ->
+      let a = s.key_a and b = s.key_b in
+      for k = 0 to w - 1 do
+        a.(k) <- pos.(pa.(k));
+        b.(k) <- pos.(pb.(k))
+      done;
+      let insort v =
+        for i = 1 to w - 1 do
+          let x = v.(i) in
+          let j = ref (i - 1) in
+          while !j >= 0 && v.(!j) > x do
+            v.(!j + 1) <- v.(!j);
+            decr j
+          done;
+          v.(!j + 1) <- x
+        done
+      in
+      insort a;
+      insort b;
+      let rec lex k =
+        if k >= w then 0
+        else
+          let c = Int.compare a.(k) b.(k) in
+          if c <> 0 then c else lex (k + 1)
+      in
+      lex 0
+
+let pack ?(flavour = Permutation) ?window ?(ranking = By_load) ?scratch ~bins
+    ~items () =
   let n_items = Array.length items in
   let window =
     match window with
@@ -50,7 +189,7 @@ let pack ?(flavour = Permutation) ?window ?(ranking = By_load) ~bins ~items () =
   in
   let unplaced = Array.make n_items true in
   let left = ref n_items in
-  let fill_bin bin =
+  let fill_bin_naive bin =
     let rec select () =
       if !left = 0 then ()
       else begin
@@ -82,5 +221,47 @@ let pack ?(flavour = Permutation) ?window ?(ranking = By_load) ~bins ~items () =
     in
     select ()
   in
-  Array.iter fill_bin bins;
+  let fill_bin_scratch s bin =
+    let d = Bin.dim bin in
+    let w = min window d in
+    let rec select () =
+      if !left = 0 then ()
+      else begin
+        Obs.Metrics.incr c_attempts;
+        fill_positions ranking s bin;
+        let best = ref (-1) and best_perm = ref [||] in
+        for j = 0 to n_items - 1 do
+          if unplaced.(j) && Bin.fits bin items.(j) then begin
+            Obs.Metrics.incr c_keys;
+            let pj = item_perm s items.(j) in
+            if !best < 0 || compare_perms flavour ~w s pj !best_perm < 0
+            then begin
+              best := j;
+              best_perm := pj
+            end
+          end
+        done;
+        if !best >= 0 then begin
+          Obs.Metrics.incr c_placed;
+          Bin.place bin items.(!best);
+          unplaced.(!best) <- false;
+          decr left;
+          select ()
+        end
+      end
+    in
+    select ()
+  in
+  (match scratch with
+  | None -> Array.iter fill_bin_naive bins
+  | Some s ->
+      let max_id =
+        Array.fold_left (fun acc (it : Item.t) -> max acc it.Item.id) (-1)
+          items
+      in
+      let dims =
+        Array.fold_left (fun acc b -> max acc (Bin.dim b)) 1 bins
+      in
+      ensure_capacity s ~n_items:(max_id + 1) ~dims;
+      Array.iter (fill_bin_scratch s) bins);
   !left = 0

@@ -34,15 +34,33 @@ val compare_keys : flavour -> window:int -> int array -> int array -> int
 (** Lexicographic key comparison restricted to the window, set-wise for
     Choose-Pack. Exposed for tests. *)
 
+type scratch
+(** Probe-shared selection scratch (DESIGN.md §11): per-item demand
+    permutations memoized for the lifetime of one fixed-yield probe
+    (invalidate with {!scratch_new_probe} when item demands change) plus
+    reusable buffers for the per-select-pass bin ranking and window
+    comparisons. Packing with a scratch picks the exact same items —
+    selection keys are compared without being materialized, but over the
+    same values with the same tie-breaks — it only removes the per-key
+    allocations. A scratch must only be used from one domain at a time,
+    with items whose ids stay dense. *)
+
+val scratch : unit -> scratch
+(** Fresh, empty scratch. *)
+
+val scratch_new_probe : scratch -> unit
+(** Drop the memoized item permutations (call after item demands change). *)
+
 val pack :
   ?flavour:flavour ->
   ?window:int ->
   ?ranking:bin_ranking ->
+  ?scratch:scratch ->
   bins:Bin.t array ->
   items:Item.t array ->
   unit ->
   bool
 (** Pack items (already item-sorted: the order breaks key ties) into bins
     (already bin-sorted: bins are filled in order). Defaults: [Permutation],
-    [window = D] (full keys), [By_load]. Returns false when items remain
-    after all bins are exhausted. *)
+    [window = D] (full keys), [By_load], no scratch. Returns false when
+    items remain after all bins are exhausted. *)

@@ -21,13 +21,63 @@ let assignment ~bins ~n_items =
     bins;
   assign
 
-let run t ~bins ~items =
-  let items = Vec.Metric.sort t.item_order Item.size items in
+(* Probe-shared sort memos. Most of the 253 HVP strategies differ only in
+   packing rule or bin order, not item measure, so within one fixed-yield
+   probe each distinct sorted item order need only be computed once. Bin
+   orders sort by capacity, which never changes, so those memos survive
+   for the lifetime of the cache. The memoized arrays alias the caller's
+   item/bin records (the packing loops only read items and mutate bins in
+   place), and are built by the exact [Vec.Metric.sort] the uncached path
+   runs — same stable sort over the same values — so a cached run is
+   bit-identical to an uncached one. Counted under the solver's namespace:
+   it is [Vp_solver]'s probe bill these hits cut. *)
+let c_item_hits = Obs.Metrics.counter "vp_solver.items_cache_hits"
+
+type cache = {
+  mutable sorted_items : (Vec.Metric.order * Item.t array) list;
+  mutable sorted_bins : (Vec.Metric.order * Bin.t array) list;
+  pp_scratch : Permutation_pack.scratch;
+}
+
+let cache () =
+  { sorted_items = []; sorted_bins = [];
+    pp_scratch = Permutation_pack.scratch () }
+
+let cache_new_probe c =
+  c.sorted_items <- [];
+  Permutation_pack.scratch_new_probe c.pp_scratch
+
+let items_in_order cache order items =
+  match cache with
+  | None -> Vec.Metric.sort order Item.size items
+  | Some c -> (
+      match List.assoc_opt order c.sorted_items with
+      | Some sorted ->
+          Obs.Metrics.incr c_item_hits;
+          sorted
+      | None ->
+          let sorted = Vec.Metric.sort order Item.size items in
+          c.sorted_items <- (order, sorted) :: c.sorted_items;
+          sorted)
+
+let bins_in_order cache order bins =
+  match cache with
+  | None -> Vec.Metric.sort order Bin.size bins
+  | Some c -> (
+      match List.assoc_opt order c.sorted_bins with
+      | Some sorted -> sorted
+      | None ->
+          let sorted = Vec.Metric.sort order Bin.size bins in
+          c.sorted_bins <- (order, sorted) :: c.sorted_bins;
+          sorted)
+
+let run ?cache:memo t ~bins ~items =
+  let items = items_in_order memo t.item_order items in
   let bins =
     match (t.variant, t.algo) with
     | Vp, _ | _, Best_fit -> bins
     | Hvp, (First_fit | Permutation_pack _) ->
-        Vec.Metric.sort t.bin_order Bin.size bins
+        bins_in_order memo t.bin_order bins
   in
   let ok =
     match t.algo with
@@ -45,7 +95,9 @@ let run t ~bins ~items =
           | Vp -> Permutation_pack.By_load
           | Hvp -> Permutation_pack.By_remaining_capacity
         in
-        Permutation_pack.pack ~flavour ?window ~ranking ~bins ~items ()
+        let scratch = Option.map (fun c -> c.pp_scratch) memo in
+        Permutation_pack.pack ~flavour ?window ~ranking ?scratch ~bins ~items
+          ()
   in
   if ok then Some (assignment ~bins ~n_items:(Array.length items)) else None
 

@@ -28,10 +28,31 @@ type t = {
   variant : variant;
 }
 
-val run : t -> bins:Bin.t array -> items:Item.t array -> int array option
+type cache
+(** Probe-shared sort memos: each distinct item-sort order is computed
+    once per probe (invalidate with {!cache_new_probe} when item demands
+    change), each distinct bin-sort order once per cache lifetime (bin
+    capacities never change), and Permutation-Pack selection runs on a
+    {!Permutation_pack.scratch} whose per-item demand permutations are
+    likewise memoized per probe. The memoized arrays alias the caller's
+    item and bin records, so a cache must only ever be used with the one
+    item/bin pair it first saw, from one domain at a time. Hits land on
+    the [vp_solver.items_cache_hits] counter. *)
+
+val cache : unit -> cache
+(** A fresh, empty memo table. *)
+
+val cache_new_probe : cache -> unit
+(** Drop the item-order memos (call after refilling item demands for a new
+    probe); bin-order memos are kept. *)
+
+val run : ?cache:cache -> t -> bins:Bin.t array -> items:Item.t array ->
+  int array option
 (** Execute one strategy on fresh copies of nothing — [bins] are mutated.
     Items must carry dense ids [0 .. n-1]; on success the result maps item
-    id to bin id. Callers should pass freshly created bins. *)
+    id to bin id. Callers should pass freshly created (or {!Bin.reset})
+    bins. With [cache], item/bin sort orders are memoized as documented on
+    {!type-cache}; results are bit-identical with and without it. *)
 
 val assignment : bins:Bin.t array -> n_items:int -> int array
 (** Read the item-to-bin assignment out of packed bins (helper shared with

@@ -12,6 +12,7 @@ let () =
       ("packing", Test_packing.suite);
       ("heuristics", Test_heuristics.suite);
       ("binary-search-diff", Test_binary_search_diff.suite);
+      ("kernel-diff", Test_kernel_diff.suite);
       ("greedy-criteria", Test_greedy_criteria.suite);
       ("workload", Test_workload.suite);
       ("sharing", Test_sharing.suite);

@@ -314,6 +314,46 @@ let prop_simplex_2d_optimal =
           s.objective >= best -. 1e-5
       | _ -> false)
 
+(* Simplex obs counters: a solve that needs phase 1 (an equality
+   constraint forces an artificial basis) must record pivots and phase-1
+   iterations; a degenerate vertex must land on the degenerate-pivot
+   counter. Counter totals are deterministic, but asserting > 0 keeps the
+   test robust to pivoting-rule changes. *)
+let test_simplex_counters () =
+  let was_enabled = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled false;
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ();
+      Obs.Metrics.set_enabled was_enabled)
+  @@ fun () ->
+  (* Equality constraint -> artificial variable -> phase-1 work. *)
+  let p =
+    Lp.Problem.create ~n_vars:2 ~objective:[| 1.; 1. |]
+      ~constraints:[ c [ (0, 1.); (1, 1.) ] Eq 2.; c [ (0, 1.) ] Le 1. ]
+      ()
+  in
+  ignore (solve p);
+  (* Degenerate vertex: two constraints active at the same point. *)
+  let d =
+    Lp.Problem.create ~n_vars:2 ~objective:[| 1.; 1. |]
+      ~constraints:
+        [ c [ (0, 1.) ] Le 1.; c [ (0, 1.); (1, 1.) ] Le 1.;
+          c [ (1, 1.) ] Le 1. ]
+      ()
+  in
+  ignore (solve d);
+  Obs.Metrics.set_enabled false;
+  let snap = Obs.Metrics.snapshot () in
+  let v name = Obs.Metrics.Snapshot.counter_value snap name in
+  Alcotest.(check bool) "pivots counted" true (v "simplex.pivots" > 0);
+  Alcotest.(check bool) "phase-1 iterations counted" true
+    (v "simplex.phase1_iterations" > 0);
+  Alcotest.(check bool) "degenerate pivots counted" true
+    (v "simplex.degenerate_pivots" > 0)
+
 let suite =
   List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
@@ -329,6 +369,7 @@ let suite =
       ("feasibility checker", test_feasibility_checker);
       ("transportation problem", test_transportation);
       ("random LP stress", test_moderate_random_lp_stress);
+      ("simplex obs counters", test_simplex_counters);
       ("MILP knapsack", test_knapsack);
       ("MILP infeasible", test_milp_infeasible);
       ("MILP relaxation gap", test_milp_relaxation_gap);

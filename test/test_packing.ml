@@ -28,6 +28,46 @@ let test_bin_fits_and_place () =
   check_float "load sum" 0.8 (Bin.load_sum b);
   check_float "remaining sum" 1.2 (Bin.remaining_sum b)
 
+(* The running sum_load / sum_remaining fields must always equal the
+   folds over load and capacity they replace, through arbitrary
+   place/reset sequences, and reset bins must behave like fresh ones. *)
+let test_bin_running_sums () =
+  let fold_load b =
+    Array.fold_left ( +. ) 0. (Vec.Vector.to_array (Bin.load_vector b))
+  in
+  let fold_remaining (b : Bin.t) =
+    let cap = b.Bin.capacity.Vec.Epair.aggregate in
+    let load = Bin.load_vector b in
+    let acc = ref 0. in
+    for i = 0 to Bin.dim b - 1 do
+      acc :=
+        !acc
+        +. Float.max 0. (Vec.Vector.get cap i -. Vec.Vector.get load i)
+    done;
+    !acc
+  in
+  let check_sums msg b =
+    check_float (msg ^ ": load_sum") (fold_load b) (Bin.load_sum b);
+    check_float (msg ^ ": remaining_sum") (fold_remaining b)
+      (Bin.remaining_sum b)
+  in
+  let b = ubin 0 [ 1.0; 2.0; 0.5 ] in
+  check_sums "fresh" b;
+  Bin.place b (uitem 0 [ 0.3; 0.1; 0.2 ]);
+  check_sums "after one place" b;
+  (* Overfill a dimension: remaining clamps at 0 in that dimension. *)
+  Bin.place b (uitem 1 [ 0.9; 0.2; 0.1 ]);
+  check_sums "after overfilling dim 0" b;
+  Bin.reset b;
+  check_sums "after reset" b;
+  let fresh = ubin 0 [ 1.0; 2.0; 0.5 ] in
+  check_float "reset load_sum = fresh" (Bin.load_sum fresh) (Bin.load_sum b);
+  check_float "reset remaining_sum = fresh" (Bin.remaining_sum fresh)
+    (Bin.remaining_sum b);
+  Alcotest.(check (list int)) "reset clears contents" [] b.Bin.contents;
+  Bin.place b (uitem 2 [ 0.4; 0.4; 0.4 ]);
+  check_sums "place after reset" b
+
 let test_bin_elementary_filter () =
   (* Elementary demand exceeds elementary capacity: never fits, regardless
      of aggregate headroom. *)
@@ -269,6 +309,7 @@ let suite =
   List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
       ("bin fits/place/load", test_bin_fits_and_place);
+      ("bin running sums", test_bin_running_sums);
       ("bin elementary filter", test_bin_elementary_filter);
       ("first fit order", test_first_fit_order);
       ("first fit failure", test_first_fit_failure_is_reported);
