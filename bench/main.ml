@@ -5,7 +5,7 @@
    Usage:  dune exec bench/main.exe [-- section ...]
    Sections: table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 figfamilies
              successrate ranking hvplight theorem ablation online parbench
-             probepar kernel obs sim micro (default: all).
+             probepar kernel lp obs sim micro (default: all).
    Scale: VMALLOC_SCALE=small|medium|paper (default small).
    Parallelism: VMALLOC_DOMAINS=N (default: recommended domain count;
    1 = legacy sequential path). Results are bit-for-bit independent of N;
@@ -88,6 +88,34 @@ type kernel_run = {
 
 let kernel_runs : kernel_run list ref = ref []
 
+(* Dense-tableau vs sparse-revised simplex wall times on one LP (lp
+   section). Pivot counts and objectives are deterministic; wall times are
+   not, so only the former print to stdout. *)
+type lp_solver_run = {
+  l_label : string;
+  l_n_vars : int;
+  l_n_cons : int;
+  l_dense_s : float;
+  l_revised_s : float;
+  l_agree : bool;
+}
+
+let lp_solver_runs : lp_solver_run list ref = ref []
+
+(* Cold vs warm-started yield-probe sequences (lp section): total revised
+   pivots across the whole binary search, both arms. *)
+type lp_probe_run = {
+  l_instance : string;
+  l_cold_pivots : int;
+  l_warm_pivots : int;
+  l_warm_starts : int;
+  l_cold_s : float;
+  l_warm_s : float;
+  l_same_yield : bool;
+}
+
+let lp_probe_runs : lp_probe_run list ref = ref []
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -157,6 +185,40 @@ let write_bench_par_json ~scale_label ~total path =
         (if i < List.length ks - 1 then "," else ""))
     ks;
   out "  ],\n";
+  out "  \"lp\": {\n";
+  out "    \"solver\": [\n";
+  let ls = List.rev !lp_solver_runs in
+  List.iteri
+    (fun i l ->
+      out
+        "      {\"label\": \"%s\", \"n_vars\": %d, \"n_cons\": %d, \
+         \"dense_seconds\": %.4f, \"revised_seconds\": %.4f, \"speedup\": \
+         %.2f, \"agree\": %b}%s\n"
+        (json_escape l.l_label) l.l_n_vars l.l_n_cons l.l_dense_s
+        l.l_revised_s
+        (if l.l_revised_s > 0. then l.l_dense_s /. l.l_revised_s else 0.)
+        l.l_agree
+        (if i < List.length ls - 1 then "," else ""))
+    ls;
+  out "    ],\n";
+  out "    \"probe\": [\n";
+  let lp = List.rev !lp_probe_runs in
+  List.iteri
+    (fun i l ->
+      out
+        "      {\"instance\": \"%s\", \"cold_pivots\": %d, \"warm_pivots\": \
+         %d, \"warm_starts\": %d, \"pivot_ratio\": %.2f, \"cold_seconds\": \
+         %.4f, \"warm_seconds\": %.4f, \"same_yield\": %b}%s\n"
+        (json_escape l.l_instance) l.l_cold_pivots l.l_warm_pivots
+        l.l_warm_starts
+        (if l.l_warm_pivots > 0 then
+           float_of_int l.l_cold_pivots /. float_of_int l.l_warm_pivots
+         else 0.)
+        l.l_cold_s l.l_warm_s l.l_same_yield
+        (if i < List.length lp - 1 then "," else ""))
+    lp;
+  out "    ]\n";
+  out "  },\n";
   out "  \"obs\": {\n";
   out "    \"per_algorithm\": [\n";
   let snaps = List.rev !obs_snapshots in
@@ -495,6 +557,162 @@ let run_obs () =
      %.3fs  (ratio %.3f)\n%!"
     disabled_s enabled_s
     (if disabled_s > 0. then enabled_s /. disabled_s else 0.)
+
+(* LP section helpers (also used by the backfill fallbacks).
+
+   The paper generator scales total CPU need to exactly match total CPU
+   capacity, so the rational relaxation is feasible at yield 1 and the
+   yield search returns after a single probe — useless for measuring
+   warm-started probe sequences. This builder oversubscribes CPU by
+   [factor], forcing max yield ~ 1/factor and a full bisection. *)
+let oversubscribed_instance ~seed ~nodes:n_nodes ~services:n_services ~factor =
+  let rng = Prng.Rng.create ~seed in
+  let nodes =
+    Array.init n_nodes (fun id ->
+        Model.Node.make_cores ~id ~cores:4
+          ~cpu:(Prng.Rng.uniform_range rng 1.5 2.5)
+          ~mem:1.0)
+  in
+  let total_cpu =
+    Array.fold_left
+      (fun acc (nd : Model.Node.t) ->
+        acc +. Vec.Vector.get nd.capacity.Vec.Epair.aggregate 0)
+      0. nodes
+  in
+  let per_service = factor *. total_cpu /. Float.of_int n_services in
+  let services =
+    Array.init n_services (fun id ->
+        let agg = per_service *. Prng.Rng.uniform_range rng 0.7 1.3 in
+        Model.Service.make_2d ~id
+          ~mem_req:(Prng.Rng.uniform_range rng 0.05 0.15)
+          ~cpu_need:(agg /. 2., agg) ())
+  in
+  Model.Instance.v ~nodes ~services
+
+(* One LP through both solvers; objectives must agree (lp.solver block). *)
+let lp_solver_measure ~label p =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rd, l_dense_s = time (fun () -> Lp.Dense_simplex.solve p) in
+  let rr, l_revised_s = time (fun () -> Lp.Simplex.solve p) in
+  let l_agree =
+    match (rd, rr) with
+    | Lp.Dense_simplex.Optimal d, Lp.Simplex.Optimal r ->
+        Float.abs (d.objective -. r.objective)
+        <= 1e-6 *. (1. +. Float.abs d.objective)
+    | Lp.Dense_simplex.Infeasible, Lp.Simplex.Infeasible
+    | Lp.Dense_simplex.Unbounded, Lp.Simplex.Unbounded ->
+        true
+    | _ -> false
+  in
+  let run =
+    { l_label = label; l_n_vars = p.Lp.Problem.n_vars;
+      l_n_cons = Lp.Problem.n_constraints p; l_dense_s; l_revised_s; l_agree }
+  in
+  lp_solver_runs := run :: !lp_solver_runs;
+  Printf.eprintf "[bench] lp solver %s: dense %.3fs  revised %.3fs\n%!" label
+    l_dense_s l_revised_s;
+  run
+
+(* The full relaxed yield search, cold then warm-started; total revised
+   pivots across the probe sequence come from the obs counters (lp.probe
+   block). Pivot counts and yields are deterministic; wall times are not. *)
+let lp_probe_measure ~label instance =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let was_enabled = Obs.Metrics.enabled () in
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ();
+      Obs.Metrics.set_enabled was_enabled)
+  @@ fun () ->
+  let arm warm =
+    Obs.Metrics.set_enabled false;
+    Obs.Metrics.reset ();
+    Obs.Metrics.set_enabled true;
+    let r, dt =
+      time (fun () -> Heuristics.Milp.relaxed_yield_search ~warm instance)
+    in
+    Obs.Metrics.set_enabled false;
+    let snap = Obs.Metrics.snapshot () in
+    let v name = Obs.Metrics.Snapshot.counter_value snap name in
+    (r, dt, v "simplex.pivots", v "simplex.warm_starts")
+  in
+  let rc, l_cold_s, l_cold_pivots, _ = arm false in
+  let rw, l_warm_s, l_warm_pivots, l_warm_starts = arm true in
+  let l_same_yield =
+    match (rc, rw) with
+    | Some (_, yc), Some (_, yw) ->
+        Float.abs (yc -. yw)
+        <= 2. *. Heuristics.Binary_search.default_tolerance
+    | None, None -> true
+    | _ -> false
+  in
+  let run =
+    { l_instance = label; l_cold_pivots; l_warm_pivots; l_warm_starts;
+      l_cold_s; l_warm_s; l_same_yield }
+  in
+  lp_probe_runs := run :: !lp_probe_runs;
+  Printf.eprintf "[bench] lp probe %s: cold %.3fs  warm %.3fs\n%!" label
+    l_cold_s l_warm_s;
+  run
+
+let run_lp () =
+  section_header "LP: revised simplex vs dense oracle; warm vs cold probes";
+  let solver_table =
+    Stats.Table.create ~headers:[ "LP"; "vars"; "cons"; "agree" ]
+  in
+  List.iter
+    (fun family ->
+      let label = Printf.sprintf "lp_gen:%s 9x12" (Lp_gen.family_name family) in
+      let r =
+        lp_solver_measure ~label
+          (Lp_gen.generate ~seed:0 ~n_vars:9 ~n_cons:12 family)
+      in
+      Stats.Table.add_row solver_table
+        [ label; string_of_int r.l_n_vars; string_of_int r.l_n_cons;
+          (if r.l_agree then "yes" else "NO (solver bug!)") ])
+    [ Lp_gen.Feasible; Lp_gen.Degenerate ];
+  List.iter
+    (fun (nodes, services) ->
+      let inst = oversubscribed_instance ~seed:2 ~nodes ~services ~factor:2. in
+      let p, _ = Heuristics.Milp.formulation ~integer:false inst in
+      let label = Printf.sprintf "relaxation %dnx%ds" nodes services in
+      let r = lp_solver_measure ~label p in
+      Stats.Table.add_row solver_table
+        [ label; string_of_int r.l_n_vars; string_of_int r.l_n_cons;
+          (if r.l_agree then "yes" else "NO (solver bug!)") ])
+    [ (4, 12); (6, 24); (8, 32) ];
+  Stats.Table.print solver_table;
+  let probe_table =
+    Stats.Table.create
+      ~headers:
+        [ "instance"; "cold pivots"; "warm pivots"; "warm starts"; "ratio";
+          "same yield" ]
+  in
+  List.iter
+    (fun (nodes, services) ->
+      let label = Printf.sprintf "%dnx%ds 2x-oversub" nodes services in
+      let r =
+        lp_probe_measure ~label
+          (oversubscribed_instance ~seed:1 ~nodes ~services ~factor:2.)
+      in
+      Stats.Table.add_row probe_table
+        [ label; string_of_int r.l_cold_pivots;
+          string_of_int r.l_warm_pivots; string_of_int r.l_warm_starts;
+          Printf.sprintf "%.2fx"
+            (if r.l_warm_pivots > 0 then
+               float_of_int r.l_cold_pivots /. float_of_int r.l_warm_pivots
+             else 0.);
+          (if r.l_same_yield then "yes" else "NO (warm-start bug!)") ])
+    [ (6, 24); (10, 40) ];
+  Stats.Table.print probe_table
 
 let run_table1 scale =
   section_header "Table 1: pairwise comparison of major heuristics";
@@ -868,6 +1086,18 @@ let backfill_bench_blocks () =
       obs_overhead := Some (disabled_s, enabled_s)
     end
   end;
+  if !lp_solver_runs = [] then begin
+    progress "backfill: lp.solver block (lp_gen 9x12)";
+    ignore
+      (lp_solver_measure ~label:"fallback:lp_gen:feasible 9x12"
+         (Lp_gen.generate ~seed:0 ~n_vars:9 ~n_cons:12 Lp_gen.Feasible))
+  end;
+  if !lp_probe_runs = [] then begin
+    progress "backfill: lp.probe block (3nx8s 2x-oversub)";
+    ignore
+      (lp_probe_measure ~label:"fallback:3nx8s 2x-oversub"
+         (oversubscribed_instance ~seed:1 ~nodes:3 ~services:8 ~factor:2.))
+  end;
   if !sim_scaling = [] || !sim_skips = None || !sim_shard_runs = [] then begin
     progress "backfill: sim block (horizon 50)";
     let platform =
@@ -922,8 +1152,8 @@ let all_sections =
   [
     "table1"; "table2"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
     "figfamilies"; "successrate"; "ranking"; "hvplight"; "theorem";
-    "ablation"; "online"; "parbench"; "probepar"; "kernel"; "obs"; "sim";
-    "micro";
+    "ablation"; "online"; "parbench"; "probepar"; "kernel"; "lp"; "obs";
+    "sim"; "micro";
   ]
 
 let () =
@@ -985,6 +1215,7 @@ let () =
       | "parbench" -> run_parbench scale
       | "probepar" -> run_probe_par ()
       | "kernel" -> run_kernel ()
+      | "lp" -> run_lp ()
       | "obs" -> run_obs ()
       | "sim" -> run_sim ()
       | "micro" -> run_micro ()

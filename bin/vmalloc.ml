@@ -139,8 +139,10 @@ let unknown_algorithm name =
 let algo_term =
   Arg.(value & opt string "metahvplight"
        & info [ "algo" ] ~docv:"NAME"
-           ~doc:"Algorithm: rrnd, rrnz, metagreedy, metavp, metahvp, \
-                 metahvplight, or milp (exact, small instances only).")
+           ~doc:"Algorithm: rrnd, rrnz, rrnd-probed, rrnz-probed (rounding \
+                 from warm-started yield probes), metagreedy, metavp, \
+                 metahvp, metahvplight, or milp (exact, small instances \
+                 only).")
 
 let stats_term =
   Arg.(value & flag

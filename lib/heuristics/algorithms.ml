@@ -42,6 +42,22 @@ let rrnz ~seed =
           Rounding.rrnz ~rng:(Prng.Rng.create ~seed) instance);
   }
 
+let rrnd_probed ~seed =
+  {
+    name = "RRND-PROBED";
+    solve =
+      no_pool (fun instance ->
+          Rounding.rrnd_probed ~rng:(Prng.Rng.create ~seed) instance);
+  }
+
+let rrnz_probed ~seed =
+  {
+    name = "RRNZ-PROBED";
+    solve =
+      no_pool (fun instance ->
+          Rounding.rrnz_probed ~rng:(Prng.Rng.create ~seed) instance);
+  }
+
 let exact_milp ?node_limit () =
   {
     name = "MILP";
@@ -69,12 +85,15 @@ let majors ~seed =
   [ rrnd ~seed; rrnz ~seed; metagreedy; metavp; metahvp ]
 
 let valid_names =
-  [ "rrnd"; "rrnz"; "metagreedy"; "metavp"; "metahvp"; "metahvplight"; "milp" ]
+  [ "rrnd"; "rrnz"; "rrnd-probed"; "rrnz-probed"; "metagreedy"; "metavp";
+    "metahvp"; "metahvplight"; "milp" ]
 
 let by_name ~seed name =
   match String.uppercase_ascii name with
   | "RRND" -> Some (rrnd ~seed)
   | "RRNZ" -> Some (rrnz ~seed)
+  | "RRND-PROBED" -> Some (rrnd_probed ~seed)
+  | "RRNZ-PROBED" -> Some (rrnz_probed ~seed)
   | "METAGREEDY" -> Some metagreedy
   | "METAVP" -> Some metavp
   | "METAHVP" -> Some metahvp

@@ -30,6 +30,13 @@ val rrnd : seed:int -> t
 val rrnz : seed:int -> t
 (** LP-relaxation rounding (§3.3). Deterministic given the seed. *)
 
+val rrnd_probed : seed:int -> t
+val rrnz_probed : seed:int -> t
+(** Probe-based rounding variants ({!Rounding.rrnd_probed} /
+    {!Rounding.rrnz_probed}): probabilities from warm-started yield
+    feasibility probes instead of the single maximizing LP. Not part of
+    {!majors} (Table 1 keeps the paper's originals). *)
+
 val exact_milp : ?node_limit:int -> unit -> t
 (** Branch-and-bound on the full MILP; only tractable on small instances. *)
 

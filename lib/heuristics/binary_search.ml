@@ -21,14 +21,25 @@ let announce on_round points =
   Obs.Metrics.add c_probes (Array.length points);
   match on_round with Some f -> f points | None -> ()
 
-let maximize ?(tolerance = default_tolerance) ?on_round oracle =
+(* State-threading variant: the oracle receives an accumulator alongside
+   the probed yield and returns the updated accumulator with the verdict.
+   The probe schedule is identical to [maximize] — the state rides along
+   (LP warm-start bases in {!Milp.relaxed_yield_search}), it never steers
+   the bisection, so warm and cold searches take the same probe path. *)
+let maximize_warm ?(tolerance = default_tolerance) ?on_round ~init oracle =
   let tolerance = clamp_tolerance tolerance in
+  let state = ref init in
+  let probe y =
+    let next, verdict = oracle !state y in
+    state := next;
+    verdict
+  in
   announce on_round [| 1. |];
-  match oracle 1. with
+  match probe 1. with
   | Some sol -> Some (sol, 1.)
   | None -> (
       announce on_round [| 0. |];
-      match oracle 0. with
+      match probe 0. with
       | None -> None
       | Some sol0 ->
           let best = ref (sol0, 0.) in
@@ -36,13 +47,17 @@ let maximize ?(tolerance = default_tolerance) ?on_round oracle =
           while !hi -. !lo > tolerance do
             let mid = 0.5 *. (!lo +. !hi) in
             announce on_round [| mid |];
-            match oracle mid with
+            match probe mid with
             | Some sol ->
                 best := (sol, mid);
                 lo := mid
             | None -> hi := mid
           done;
           Some !best)
+
+let maximize ?tolerance ?on_round oracle =
+  maximize_warm ?tolerance ?on_round ~init:()
+    (fun () y -> ((), oracle y))
 
 (* Depth of the speculative probe tree: the largest m with 2^m - 1
    candidate points needing at most ceil(log2 (k+1)) levels, i.e. the

@@ -33,6 +33,21 @@ val maximize :
     is called before every oracle round with the yields probed in it —
     always a singleton here; instrumentation only. *)
 
+val maximize_warm :
+  ?tolerance:float ->
+  ?on_round:(float array -> unit) ->
+  init:'w ->
+  ('w -> float -> 'w * 'a option) ->
+  ('a * float) option
+(** [maximize_warm ~init oracle] is {!maximize} for oracles that carry an
+    accumulator: each probe receives the state returned by the previous
+    probe (starting from [init]) alongside the candidate yield. The state
+    is threaded through feasible {e and} infeasible probes but never
+    consulted by the search itself, so the probe schedule is exactly
+    {!maximize}'s. Used to carry LP warm-start bases across successive
+    yield probes ({!Milp.relaxed_yield_search}): probe [k+1] re-optimizes
+    from probe [k]'s basis instead of solving from scratch. *)
+
 val maximize_par :
   ?tolerance:float ->
   ?on_round:(float array -> unit) ->

@@ -137,12 +137,41 @@ let relaxed_bound instance =
   | Some (sol, _) -> Some sol.Lp.Simplex.objective
   | None -> None
 
+let e_matrix_of instance mapping x =
+  let j_count = Model.Instance.n_services instance in
+  let h_count = Model.Instance.n_nodes instance in
+  Array.init j_count (fun j ->
+      Array.init h_count (fun h -> x.(mapping.e j h)))
+
 let relaxed_e_matrix instance =
   match solve_relaxed instance with
   | None -> None
   | Some (sol, mapping) ->
-      let j_count = Model.Instance.n_services instance in
-      let h_count = Model.Instance.n_nodes instance in
-      Some
-        (Array.init j_count (fun j ->
-             Array.init h_count (fun h -> sol.Lp.Simplex.x.(mapping.e j h))))
+      Some (e_matrix_of instance mapping sol.Lp.Simplex.x)
+
+let probe_formulation instance ~yield_floor =
+  let problem, mapping = formulation ~integer:false instance in
+  let floor_y = Float.max 0. (Float.min 1. yield_floor) in
+  let lower = Array.make problem.Lp.Problem.n_vars 0. in
+  lower.(mapping.y_min) <- floor_y;
+  let objective = Array.make problem.Lp.Problem.n_vars 0. in
+  ({ problem with Lp.Problem.objective; lower }, mapping)
+
+let relaxed_yield_search ?tolerance ?(warm = true) instance =
+  let oracle basis y =
+    let problem, mapping = probe_formulation instance ~yield_floor:y in
+    let warm_basis = if warm then basis else None in
+    let result, returned = Lp.Simplex.solve_basis ?warm_basis problem in
+    let next =
+      if not warm then None
+      else match returned with Some _ -> returned | None -> basis
+    in
+    match result with
+    | Lp.Simplex.Optimal sol ->
+        (next, Some (e_matrix_of instance mapping sol.Lp.Simplex.x))
+    | Lp.Simplex.Infeasible -> (next, None)
+    | Lp.Simplex.Unbounded ->
+        (* Every probe variable lives in [0,1] and the objective is 0. *)
+        assert false
+  in
+  Binary_search.maximize_warm ?tolerance ~init:None oracle

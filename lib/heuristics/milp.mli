@@ -44,3 +44,25 @@ val relaxed_bound : Model.Instance.t -> float option
 val relaxed_e_matrix : Model.Instance.t -> float array array option
 (** The fractional [e_jh] matrix (J rows, H columns) of the relaxed
     solution, the input to randomized rounding. *)
+
+val probe_formulation :
+  Model.Instance.t -> yield_floor:float -> Lp.Problem.t * mapping
+(** The relaxation as a {e feasibility probe} at a fixed yield floor: the
+    rational formulation with a zero objective and
+    [lower.(y_min) = yield_floor] (clamped to [0,1]). All probes of one
+    instance share the same constraint layout and cost vector — only the
+    [y_min] lower bound moves — so a basis captured from one probe
+    warm-starts the next ({!Lp.Simplex.solve_basis}). *)
+
+val relaxed_yield_search :
+  ?tolerance:float -> ?warm:bool -> Model.Instance.t ->
+  (float array array * float) option
+(** Binary search on the yield using {!probe_formulation} probes (one LP
+    feasibility check per probe) instead of one maximizing LP solve.
+    Returns the fractional [e_jh] matrix of the highest feasible probe and
+    that probe's yield; [None] when even yield 0 is infeasible. [warm]
+    (default true) threads the previous probe's basis into each solve via
+    {!Binary_search.maximize_warm}; the probe schedule is identical either
+    way, so [warm] trades pivots, never answers (the differential suite
+    locks warm-vs-cold agreement). [tolerance] as in
+    {!Binary_search.maximize}. *)

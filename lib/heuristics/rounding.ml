@@ -78,3 +78,29 @@ let rrnz ?rng ?(epsilon = 0.01) instance =
     Array.map (Array.map (fun p -> if p <= 0. then epsilon else p))
   in
   run_rounding ~rng ~adjust instance
+
+(* Probe-based variants: instead of one maximizing LP, binary-search the
+   yield with warm-started feasibility probes (Milp.relaxed_yield_search)
+   and round the e-matrix of the highest feasible probe. The rounding pass
+   itself is unchanged; what differs is which vertex supplies the
+   probabilities (the probe vertex is feasibility-tight at the found yield
+   rather than objective-optimal, often spreading mass over more nodes). *)
+let run_probed ~rng ~adjust ?tolerance instance =
+  match Milp.relaxed_yield_search ?tolerance instance with
+  | None -> None
+  | Some (e_matrix, _yield) -> (
+      let e_matrix = adjust e_matrix in
+      match round_probabilities ~rng ~e_matrix instance with
+      | None -> None
+      | Some placement -> Vp_solver.evaluate instance placement)
+
+let rrnd_probed ?rng ?tolerance instance =
+  let rng = match rng with Some r -> r | None -> default_rng () in
+  run_probed ~rng ~adjust:Fun.id ?tolerance instance
+
+let rrnz_probed ?rng ?(epsilon = 0.01) ?tolerance instance =
+  let rng = match rng with Some r -> r | None -> default_rng () in
+  let adjust =
+    Array.map (Array.map (fun p -> if p <= 0. then epsilon else p))
+  in
+  run_probed ~rng ~adjust ?tolerance instance

@@ -19,6 +19,17 @@ val rrnz :
 (** Randomized Rounding with No Zero probabilities; [epsilon] defaults to
     the paper's 0.01. *)
 
+val rrnd_probed :
+  ?rng:Prng.Rng.t -> ?tolerance:float -> Model.Instance.t ->
+  Vp_solver.solution option
+val rrnz_probed :
+  ?rng:Prng.Rng.t -> ?epsilon:float -> ?tolerance:float ->
+  Model.Instance.t -> Vp_solver.solution option
+(** Probe-based RRND/RRNZ: the probability matrix comes from
+    {!Milp.relaxed_yield_search} (warm-started yield probes, [tolerance]
+    as in {!Binary_search.maximize}) instead of the single maximizing LP
+    solve. Same rounding pass and defaults as {!rrnd}/{!rrnz}. *)
+
 val round_probabilities :
   rng:Prng.Rng.t ->
   e_matrix:float array array ->

@@ -3,7 +3,12 @@
     Adapters from {!Packing} strategies to the resource-allocation problem:
     at a candidate yield, every service becomes an item whose demand is
     [(rᵉ + y·nᵉ, rᵃ + y·nᵃ)] and every node a bin; a successful packing is
-    a valid placement at that yield. *)
+    a valid placement at that yield.
+
+    Packing strategies are one kind of yield-probe oracle; the LP
+    relaxation is the other ({!Milp.relaxed_yield_search}, which threads a
+    warm-start basis through {!Binary_search.maximize_warm} instead of a
+    packing scratch state). *)
 
 type solution = {
   placement : Model.Placement.t;

@@ -6,6 +6,13 @@ type outcome =
 
 let integrality_tol = 1e-6
 
+(* Search-shape counters (lib/obs): relaxations solved, nodes whose
+   relaxation was infeasible (both children of a branch on an already-tight
+   variable land here), and nodes cut by the incumbent bound. *)
+let c_nodes = Obs.Metrics.counter "branch_bound.nodes"
+let c_infeasible = Obs.Metrics.counter "branch_bound.infeasible_nodes"
+let c_pruned = Obs.Metrics.counter "branch_bound.pruned_nodes"
+
 (* Most fractional integer variable of [x], if any. *)
 let branching_variable (p : Problem.t) x =
   let best = ref (-1) and best_frac = ref integrality_tol in
@@ -44,21 +51,29 @@ let solve ?(node_limit = 200_000) ?(absolute_gap = 1e-7) (p : Problem.t) =
   let incumbent = ref None in
   let truncated = ref false in
   let root_unbounded = ref false in
-  (* DFS over (lower, upper) bound pairs. *)
-  let rec explore lower upper depth =
+  (* DFS over (lower, upper) bound pairs. Each node re-solves its LP
+     relaxation warm-started from the parent's optimal basis: a child
+     differs from its parent only in one variable bound, so the parent
+     basis is dual feasible for the child and the dual simplex usually
+     reconciles it in a handful of pivots. The basis returned by a
+     warm-started infeasible child is threaded too (it is still dual
+     feasible for the sibling). *)
+  let rec explore lower upper depth warm =
     if !truncated then ()
     else if !nodes >= node_limit then truncated := true
     else begin
       incr nodes;
+      Obs.Metrics.incr c_nodes;
       let sub = { p with Problem.lower; upper; integer = p.integer } in
-      match Simplex.solve (Problem.relax sub) with
-      | Simplex.Infeasible -> ()
-      | Simplex.Unbounded ->
+      match Simplex.solve_basis ?warm_basis:warm (Problem.relax sub) with
+      | Simplex.Infeasible, _ -> Obs.Metrics.incr c_infeasible
+      | Simplex.Unbounded, _ ->
           (* Only meaningful at the root: an unbounded relaxation of a node
              created by tightening bounds is still reported as unbounded
              overall, matching MILP-solver convention. *)
           if depth = 0 then root_unbounded := true else truncated := true
-      | Simplex.Optimal sol ->
+      | Simplex.Optimal sol, basis ->
+          let warm = match basis with Some _ -> basis | None -> warm in
           if can_improve sol.objective !incumbent then begin
             match branching_variable p sol.x with
             | None ->
@@ -82,20 +97,21 @@ let solve ?(node_limit = 200_000) ?(absolute_gap = 1e-7) (p : Problem.t) =
                    early on. *)
                 if sol.x.(v) -. fl >= 0.5 then begin
                   if up_lower.(v) <= upper.(v) then
-                    explore up_lower upper (depth + 1);
+                    explore up_lower upper (depth + 1) warm;
                   if down_upper.(v) >= lower.(v) then
-                    explore lower down_upper (depth + 1)
+                    explore lower down_upper (depth + 1) warm
                 end
                 else begin
                   if down_upper.(v) >= lower.(v) then
-                    explore lower down_upper (depth + 1);
+                    explore lower down_upper (depth + 1) warm;
                   if up_lower.(v) <= upper.(v) then
-                    explore up_lower upper (depth + 1)
+                    explore up_lower upper (depth + 1) warm
                 end
           end
+          else Obs.Metrics.incr c_pruned
     end
   in
-  explore (Array.copy p.lower) (Array.copy p.upper) 0;
+  explore (Array.copy p.lower) (Array.copy p.upper) 0 None;
   if !root_unbounded then Unbounded
   else if !truncated then Node_limit !incumbent
   else

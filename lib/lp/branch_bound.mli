@@ -6,7 +6,15 @@
     ([x <= floor v] / [x >= ceil v]) and re-solves the LP relaxation.
     Nodes whose relaxation cannot beat the incumbent by more than
     [absolute_gap] are pruned — with the paper's binary placement variables
-    this explores a manageable tree on small instances. *)
+    this explores a manageable tree on small instances.
+
+    Each node's relaxation is warm-started from its parent's optimal basis
+    ({!Simplex.solve_basis} with [?warm_basis]): a child differs from its
+    parent in exactly one variable bound, so the parent basis stays dual
+    feasible and the dual simplex reconciles it in a few pivots instead of
+    re-running phase 1. Search-shape counters (lib/obs):
+    [branch_bound.nodes], [branch_bound.infeasible_nodes],
+    [branch_bound.pruned_nodes]. *)
 
 type outcome =
   | Optimal of Simplex.solution

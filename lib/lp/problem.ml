@@ -103,6 +103,74 @@ let objective_value p x =
   done;
   !acc
 
+module Csc = struct
+  type matrix = {
+    n_rows : int;
+    n_cols : int;
+    col_ptr : int array;
+    row_idx : int array;
+    values : float array;
+  }
+
+  let of_problem p =
+    let n_rows = List.length p.constraints in
+    let n_cols = p.n_vars in
+    (* Gather (row, coef) terms per column; duplicate variable mentions in a
+       constraint are summed, exactly as the dense solver's [prepare] does. *)
+    let cols = Array.make n_cols [] in
+    List.iteri
+      (fun i (cstr : linear_constraint) ->
+        List.iter (fun (v, a) -> cols.(v) <- (i, a) :: cols.(v)) cstr.coeffs)
+      p.constraints;
+    let merged =
+      Array.map
+        (fun terms ->
+          let sorted =
+            List.sort (fun (r1, _) (r2, _) -> compare r1 r2) terms
+          in
+          let rec merge = function
+            | (r1, a1) :: (r2, a2) :: rest when r1 = r2 ->
+                merge ((r1, a1 +. a2) :: rest)
+            | (r, a) :: rest ->
+                if a = 0. then merge rest else (r, a) :: merge rest
+            | [] -> []
+          in
+          merge sorted)
+        cols
+    in
+    let nnz = Array.fold_left (fun acc l -> acc + List.length l) 0 merged in
+    let col_ptr = Array.make (n_cols + 1) 0 in
+    let row_idx = Array.make nnz 0 in
+    let values = Array.make nnz 0. in
+    let k = ref 0 in
+    Array.iteri
+      (fun j terms ->
+        col_ptr.(j) <- !k;
+        List.iter
+          (fun (r, a) ->
+            row_idx.(!k) <- r;
+            values.(!k) <- a;
+            incr k)
+          terms)
+      merged;
+    col_ptr.(n_cols) <- !k;
+    { n_rows; n_cols; col_ptr; row_idx; values }
+
+  let nnz m = Array.length m.values
+
+  let iter_col m j f =
+    for k = m.col_ptr.(j) to m.col_ptr.(j + 1) - 1 do
+      f m.row_idx.(k) m.values.(k)
+    done
+
+  let col_dot m j x =
+    let acc = ref 0. in
+    for k = m.col_ptr.(j) to m.col_ptr.(j + 1) - 1 do
+      acc := !acc +. (m.values.(k) *. x.(m.row_idx.(k)))
+    done;
+    !acc
+end
+
 let pp_relation ppf = function
   | Le -> Format.pp_print_string ppf "<="
   | Ge -> Format.pp_print_string ppf ">="

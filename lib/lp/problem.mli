@@ -62,4 +62,32 @@ val is_feasible : ?tol:float -> t -> float array -> bool
 
 val objective_value : t -> float array -> float
 
+(** Compressed sparse column view of the constraint matrix — the storage the
+    revised {!Simplex} prices and FTRANs against. Rows are constraints in
+    declaration order, columns are structural variables; duplicate variable
+    mentions within a constraint are summed and exact zeros dropped, so the
+    build is deterministic (same problem ⇒ same arrays). *)
+module Csc : sig
+  type matrix = {
+    n_rows : int;
+    n_cols : int;
+    col_ptr : int array;  (** length [n_cols + 1]; column [j] occupies
+                              [col_ptr.(j) .. col_ptr.(j+1) - 1] *)
+    row_idx : int array;  (** row of each stored entry, ascending per column *)
+    values : float array;
+  }
+
+  val of_problem : t -> matrix
+
+  val nnz : matrix -> int
+
+  val iter_col : matrix -> int -> (int -> float -> unit) -> unit
+  (** [iter_col m j f] calls [f row value] for each stored entry of column
+      [j], in ascending row order. *)
+
+  val col_dot : matrix -> int -> float array -> float
+  (** [col_dot m j x] is the dot product of column [j] with the (dense,
+      length [n_rows]) vector [x]. *)
+end
+
 val pp : Format.formatter -> t -> unit

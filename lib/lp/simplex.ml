@@ -8,299 +8,838 @@ let pivot_tol = 1e-9
 
 let reduced_cost_tol = 1e-9
 
-(* Simplex work counters (lib/obs): total pivots across both phases,
-   phase-1 pricing iterations (how much of the bill is spent just finding
-   a feasible basis), and degenerate pivots — leaving row with rhs ≈ 0,
-   the steps that change the basis without moving the solution and make
-   cycling protection (Bland's rule) necessary. Zero-cost when metrics
-   are disabled. *)
+(* Step sizes at or below this are degenerate pivots: the basis changes but
+   the point does not move. *)
+let degenerate_step = 1e-9
+
+(* Consecutive degenerate pivots before pricing switches permanently to
+   Bland's rule for the rest of the phase (the streak is the cycling
+   signature — see Dense_simplex for the same policy on the oracle). *)
+let bland_after_degenerate = 16
+
+(* Eta-file length at which the basis inverse is refactorized from scratch.
+   Each eta both slows FTRAN/BTRAN and compounds rounding error, so the file
+   is bounded; a dense LU of the (small) basis every [refactor_every] pivots
+   costs O(m^3 / refactor_every) amortized flops per pivot, well below the
+   O(m^2) the solves themselves spend. *)
+let refactor_every = 64
+
+(* Work counters (lib/obs). The first three share names with the dense
+   oracle (registration is idempotent), so bench/CI assertions hold
+   whichever solver serves a solve; the last three only move here. *)
 let c_pivots = Obs.Metrics.counter "simplex.pivots"
 let c_phase1_iters = Obs.Metrics.counter "simplex.phase1_iterations"
 let c_degenerate = Obs.Metrics.counter "simplex.degenerate_pivots"
+let c_warm = Obs.Metrics.counter "simplex.warm_starts"
+let c_refactor = Obs.Metrics.counter "simplex.refactorizations"
+let c_bland = Obs.Metrics.counter "simplex.bland_switches"
 
-(* Internal row form: dense coefficients over the structural variables,
-   relation and rhs, after lower-bound shifting and rhs sign normalization
-   are applied by [prepare]. *)
-type row = { mutable a : float array; mutable rel : Problem.relation;
-             mutable b : float }
+(* Nonbasic-at-lower / nonbasic-at-upper / basic, per column. *)
+let st_lower = 0
+let st_upper = 1
+let st_basic = 2
 
-let prepare (p : Problem.t) =
-  let n = p.n_vars in
-  (* Shift x = x' + lower so that all variables have lower bound 0. *)
-  let shift = p.lower in
-  let rows =
-    List.map
-      (fun (cstr : Problem.linear_constraint) ->
-        let a = Array.make n 0. in
-        List.iter (fun (v, coef) -> a.(v) <- a.(v) +. coef) cstr.coeffs;
-        let offset = ref 0. in
-        for v = 0 to n - 1 do
-          offset := !offset +. (a.(v) *. shift.(v))
-        done;
-        { a; rel = cstr.relation; b = cstr.rhs -. !offset })
-      p.constraints
-  in
-  (* Finite upper bounds become explicit <= rows (in shifted space the bound
-     is upper - lower). *)
-  let upper_rows = ref [] in
-  for v = n - 1 downto 0 do
-    if Float.is_finite p.upper.(v) then begin
-      let a = Array.make n 0. in
-      a.(v) <- 1.;
-      upper_rows := { a; rel = Problem.Le; b = p.upper.(v) -. shift.(v) }
-                    :: !upper_rows
-    end
-  done;
-  let rows = Array.of_list (rows @ !upper_rows) in
-  (* Normalize to b >= 0. *)
-  Array.iter
-    (fun r ->
-      if r.b < 0. then begin
-        r.a <- Array.map (fun x -> -.x) r.a;
-        r.b <- -.r.b;
-        r.rel <-
-          (match r.rel with
-          | Problem.Le -> Problem.Ge
-          | Problem.Ge -> Problem.Le
-          | Problem.Eq -> Problem.Eq)
-      end)
-    rows;
-  rows
-
-(* Column layout of the tableau: [0, n) structural, [n, n + n_slack) slack /
-   surplus, [n + n_slack, n_cols) artificial; extra rhs column at index
-   n_cols. *)
-type tableau = {
-  t : float array array;  (* m rows, each of length n_cols + 1 *)
-  obj : float array;      (* reduced-cost row, length n_cols + 1 *)
-  basis : int array;      (* basic column of each row *)
-  n_struct : int;
-  art_start : int;        (* first artificial column *)
-  n_cols : int;
+(* A basis is only meaningful against the column layout it was captured
+   from: same variable count and same constraint-relation sequence. The key
+   fingerprints that layout so [solve ?warm_basis] can reject (and fall back
+   to a cold start on) a basis from a structurally different problem. *)
+type basis = {
+  bas_key : int;
+  bas_m : int;
+  bas_cols : int array;  (* basic column of each row *)
+  bas_stat : int array;  (* status of every column *)
 }
 
-let build_tableau n rows =
-  let m = Array.length rows in
-  let n_slack = ref 0 and n_art = ref 0 in
-  Array.iter
-    (fun r ->
-      match r.rel with
-      | Problem.Le -> incr n_slack
-      | Problem.Ge -> incr n_slack; incr n_art
-      | Problem.Eq -> incr n_art)
-    rows;
-  let n_cols = n + !n_slack + !n_art in
-  let t = Array.init m (fun _ -> Array.make (n_cols + 1) 0.) in
-  let basis = Array.make m (-1) in
-  let slack = ref n and art = ref (n + !n_slack) in
-  Array.iteri
-    (fun i r ->
-      Array.blit r.a 0 t.(i) 0 n;
-      t.(i).(n_cols) <- r.b;
-      (match r.rel with
-      | Problem.Le ->
-          t.(i).(!slack) <- 1.;
-          basis.(i) <- !slack;
-          incr slack
-      | Problem.Ge ->
-          t.(i).(!slack) <- -1.;
-          incr slack;
-          t.(i).(!art) <- 1.;
-          basis.(i) <- !art;
-          incr art
-      | Problem.Eq ->
-          t.(i).(!art) <- 1.;
-          basis.(i) <- !art;
-          incr art))
-    rows;
-  {
-    t;
-    obj = Array.make (n_cols + 1) 0.;
-    basis;
-    n_struct = n;
-    art_start = n + !n_slack;
-    n_cols;
-  }
-
-let pivot tab ~row ~col =
-  Obs.Metrics.incr c_pivots;
-  let t = tab.t and n_cols = tab.n_cols in
-  if Float.abs t.(row).(n_cols) <= feasibility_tol then
-    Obs.Metrics.incr c_degenerate;
-  let pr = t.(row) in
-  let piv = pr.(col) in
-  for j = 0 to n_cols do
-    pr.(j) <- pr.(j) /. piv
-  done;
-  pr.(col) <- 1.;
-  let eliminate target =
-    let f = target.(col) in
-    if Float.abs f > 0. then begin
-      for j = 0 to n_cols do
-        target.(j) <- target.(j) -. (f *. pr.(j))
-      done;
-      target.(col) <- 0.
-    end
-  in
-  Array.iteri (fun i r -> if i <> row then eliminate r) t;
-  eliminate tab.obj;
-  tab.basis.(row) <- col
-
-exception Unbounded_direction
-
-(* One simplex phase on the current objective row; [blocked col] excludes
-   columns (artificials in phase 2) from entering. Minimization convention:
-   entering columns have reduced cost < -tol. Returns unit; raises
-   [Unbounded_direction] when a column can decrease forever. *)
-let run_phase ?(blocked = fun _ -> false) ?iters_counter ~max_iterations tab =
-  let m = Array.length tab.t and n_cols = tab.n_cols in
-  let bland_after = max 5_000 (10 * (m + n_cols)) in
-  let iters = ref 0 in
-  let choose_entering () =
-    if !iters > bland_after then begin
-      (* Bland: smallest eligible index. *)
-      let rec loop j =
-        if j >= n_cols then None
-        else if (not (blocked j)) && tab.obj.(j) < -.reduced_cost_tol then
-          Some j
-        else loop (j + 1)
+let layout_key (p : Problem.t) =
+  List.fold_left
+    (fun acc (cstr : Problem.linear_constraint) ->
+      let code =
+        match cstr.relation with Problem.Le -> 1 | Ge -> 2 | Eq -> 3
       in
-      loop 0
-    end
-    else begin
-      (* Dantzig: most negative reduced cost. *)
-      let best = ref (-1) and best_v = ref (-.reduced_cost_tol) in
-      for j = 0 to n_cols - 1 do
-        if (not (blocked j)) && tab.obj.(j) < !best_v then begin
-          best := j;
-          best_v := tab.obj.(j)
-        end
+      ((acc * 31) + code) land 0x3FFFFFFF)
+    ((p.n_vars * 131) land 0x3FFFFFFF)
+    p.constraints
+
+(* Standard form. Columns: [0, n) structural (CSC), [n, n + m) logicals
+   (one +1 entry per row; bounds encode the relation), [n + m, n + 2m)
+   artificials (one +1 entry; fixed at 0 outside phase 1). Lower bounds are
+   shifted out of the structural variables; finite upper bounds stay
+   variable bounds (never rows — this is where the dense oracle pays and
+   the revised solver does not). Crucially the layout depends only on
+   [n_vars] and the relation sequence, never on the rhs, so a basis carries
+   over between problems that differ only in bounds/rhs (yield probes,
+   branch-and-bound children). *)
+type std = {
+  n : int;
+  m : int;
+  n_cols : int;           (* n + 2m *)
+  art_start : int;        (* n + m *)
+  csc : Problem.Csc.matrix;
+  shift : float array;    (* original lower bounds, length n *)
+  b : float array;        (* rhs after shifting, length m *)
+  lo : float array;       (* working bounds, length n_cols *)
+  up : float array;
+  cost : float array;     (* phase-2 minimization costs, length n_cols *)
+}
+
+let build (p : Problem.t) =
+  let n = p.n_vars in
+  let csc = Problem.Csc.of_problem p in
+  let m = csc.Problem.Csc.n_rows in
+  let n_cols = n + (2 * m) in
+  let shift = p.lower in
+  let b = Array.make m 0. in
+  List.iteri
+    (fun i (cstr : Problem.linear_constraint) ->
+      let offset =
+        List.fold_left
+          (fun acc (v, coef) -> acc +. (coef *. shift.(v)))
+          0. cstr.coeffs
+      in
+      b.(i) <- cstr.rhs -. offset)
+    p.constraints;
+  let lo = Array.make n_cols 0. and up = Array.make n_cols 0. in
+  for v = 0 to n - 1 do
+    lo.(v) <- 0.;
+    up.(v) <- p.upper.(v) -. shift.(v)
+  done;
+  List.iteri
+    (fun i (cstr : Problem.linear_constraint) ->
+      let j = n + i in
+      match cstr.relation with
+      | Problem.Le -> lo.(j) <- 0.; up.(j) <- infinity
+      | Problem.Ge -> lo.(j) <- neg_infinity; up.(j) <- 0.
+      | Problem.Eq -> lo.(j) <- 0.; up.(j) <- 0.)
+    p.constraints;
+  (* Artificials fixed at 0; phase 1 widens exactly the ones it uses. *)
+  let sign = match p.sense with Problem.Minimize -> 1. | Maximize -> -1. in
+  let cost = Array.make n_cols 0. in
+  for v = 0 to n - 1 do
+    cost.(v) <- sign *. p.objective.(v)
+  done;
+  { n; m; n_cols; art_start = n + m; csc; shift; b; lo; up; cost }
+
+(* Column access unifying CSC structural columns with the implicit unit
+   columns of logicals and artificials. *)
+let iter_col std j f =
+  if j < std.n then Problem.Csc.iter_col std.csc j f
+  else f ((j - std.n) mod std.m) 1.
+
+let col_dot std j w =
+  if j < std.n then Problem.Csc.col_dot std.csc j w
+  else w.((j - std.n) mod std.m)
+
+(* Dense LU with partial pivoting of the m x m basis matrix. [lu] stores L
+   (unit diagonal, below) and U (on and above); [piv.(k)] is the row k was
+   swapped with at step k. *)
+module Lu = struct
+  type t = { lu : float array array; piv : int array; size : int }
+
+  exception Singular
+
+  let factor m fill =
+    let a = Array.init m (fun _ -> Array.make m 0.) in
+    fill a;
+    let piv = Array.make m 0 in
+    for k = 0 to m - 1 do
+      let best = ref k in
+      for i = k + 1 to m - 1 do
+        if Float.abs a.(i).(k) > Float.abs a.(!best).(k) then best := i
       done;
-      if !best >= 0 then Some !best else None
-    end
-  in
-  let choose_leaving col =
-    let best = ref (-1) and best_ratio = ref infinity in
-    for i = 0 to m - 1 do
-      let a = tab.t.(i).(col) in
-      if a > pivot_tol then begin
-        let ratio = tab.t.(i).(n_cols) /. a in
-        if
-          ratio < !best_ratio -. 1e-12
-          || (Float.abs (ratio -. !best_ratio) <= 1e-12
-              && !best >= 0
-              && tab.basis.(i) < tab.basis.(!best))
-        then begin
-          best := i;
-          best_ratio := ratio
-        end
+      if Float.abs a.(!best).(k) < 1e-11 then raise Singular;
+      piv.(k) <- !best;
+      if !best <> k then begin
+        let t = a.(k) in
+        a.(k) <- a.(!best);
+        a.(!best) <- t
+      end;
+      let ak = a.(k) in
+      let akk = ak.(k) in
+      for i = k + 1 to m - 1 do
+        let ai = a.(i) in
+        let f = ai.(k) /. akk in
+        ai.(k) <- f;
+        if f <> 0. then
+          for j = k + 1 to m - 1 do
+            ai.(j) <- ai.(j) -. (f *. ak.(j))
+          done
+      done
+    done;
+    { lu = a; piv; size = m }
+
+  (* v := B^-1 v  (PB = LU: apply P, solve L, solve U). *)
+  let ftran t v =
+    let m = t.size and a = t.lu in
+    for k = 0 to m - 1 do
+      let p = t.piv.(k) in
+      if p <> k then begin
+        let x = v.(k) in
+        v.(k) <- v.(p);
+        v.(p) <- x
       end
     done;
-    if !best >= 0 then Some !best else None
-  in
+    for k = 0 to m - 1 do
+      let vk = v.(k) in
+      if vk <> 0. then
+        for i = k + 1 to m - 1 do
+          v.(i) <- v.(i) -. (a.(i).(k) *. vk)
+        done
+    done;
+    for k = m - 1 downto 0 do
+      let s = ref v.(k) in
+      let ak = a.(k) in
+      for j = k + 1 to m - 1 do
+        s := !s -. (ak.(j) *. v.(j))
+      done;
+      v.(k) <- !s /. ak.(k)
+    done
+
+  (* v := B^-T v  (solve U^T, solve L^T, apply P^-1). *)
+  let btran t v =
+    let m = t.size and a = t.lu in
+    for k = 0 to m - 1 do
+      let s = ref v.(k) in
+      for j = 0 to k - 1 do
+        s := !s -. (a.(j).(k) *. v.(j))
+      done;
+      v.(k) <- !s /. a.(k).(k)
+    done;
+    for k = m - 1 downto 0 do
+      let s = ref v.(k) in
+      for i = k + 1 to m - 1 do
+        s := !s -. (a.(i).(k) *. v.(i))
+      done;
+      v.(k) <- !s
+    done;
+    for k = m - 1 downto 0 do
+      let p = t.piv.(k) in
+      if p <> k then begin
+        let x = v.(k) in
+        v.(k) <- v.(p);
+        v.(p) <- x
+      end
+    done
+end
+
+(* One product-form update: after the pivot B_new^-1 = E B_old^-1 where E is
+   the identity with column [e_row] replaced by the eta vector derived from
+   the FTRANed entering column [d] ([e_piv] = d.(e_row), off-pivot nonzeros
+   in [e_idx]/[e_val]). *)
+type eta = {
+  e_row : int;
+  e_piv : float;
+  e_idx : int array;
+  e_val : float array;
+}
+
+let dummy_eta = { e_row = 0; e_piv = 1.; e_idx = [||]; e_val = [||] }
+
+type state = {
+  std : std;
+  bas : int array;        (* m: basic column per row *)
+  stat : int array;       (* n_cols *)
+  xb : float array;       (* m: value of bas.(i) *)
+  mutable lu : Lu.t;
+  etas : eta array;       (* first n_etas are live, applied in order *)
+  mutable n_etas : int;
+}
+
+let apply_eta_fwd eta v =
+  let t = v.(eta.e_row) /. eta.e_piv in
+  if t <> 0. then begin
+    let idx = eta.e_idx and vals = eta.e_val in
+    for k = 0 to Array.length idx - 1 do
+      v.(idx.(k)) <- v.(idx.(k)) -. (vals.(k) *. t)
+    done
+  end;
+  v.(eta.e_row) <- t
+
+let apply_eta_rev eta v =
+  let idx = eta.e_idx and vals = eta.e_val in
+  let acc = ref v.(eta.e_row) in
+  for k = 0 to Array.length idx - 1 do
+    acc := !acc -. (v.(idx.(k)) *. vals.(k))
+  done;
+  v.(eta.e_row) <- !acc /. eta.e_piv
+
+let ftran st v =
+  Lu.ftran st.lu v;
+  for k = 0 to st.n_etas - 1 do
+    apply_eta_fwd st.etas.(k) v
+  done
+
+let btran st v =
+  for k = st.n_etas - 1 downto 0 do
+    apply_eta_rev st.etas.(k) v
+  done;
+  Lu.btran st.lu v
+
+let nb_val st j =
+  if st.stat.(j) = st_upper then st.std.up.(j) else st.std.lo.(j)
+
+(* xB = B^-1 (b - sum over nonbasic j of A_j x_j). *)
+let compute_xb st =
+  let std = st.std in
+  let r = Array.copy std.b in
+  for j = 0 to std.n_cols - 1 do
+    if st.stat.(j) <> st_basic then begin
+      let v = nb_val st j in
+      if v <> 0. then iter_col std j (fun i a -> r.(i) <- r.(i) -. (a *. v))
+    end
+  done;
+  ftran st r;
+  Array.blit r 0 st.xb 0 std.m
+
+let refactor st =
+  Obs.Metrics.incr c_refactor;
+  let std = st.std in
+  st.lu <-
+    Lu.factor std.m (fun bmat ->
+        for k = 0 to std.m - 1 do
+          iter_col std st.bas.(k) (fun i a ->
+              bmat.(i).(k) <- bmat.(i).(k) +. a)
+        done);
+  st.n_etas <- 0
+
+let push_eta st r d_col =
+  let cnt = ref 0 in
+  for i = 0 to Array.length d_col - 1 do
+    if i <> r && Float.abs d_col.(i) > 1e-12 then incr cnt
+  done;
+  let idx = Array.make !cnt 0 and vals = Array.make !cnt 0. in
+  let k = ref 0 in
+  for i = 0 to Array.length d_col - 1 do
+    if i <> r && Float.abs d_col.(i) > 1e-12 then begin
+      idx.(!k) <- i;
+      vals.(!k) <- d_col.(i);
+      incr k
+    end
+  done;
+  st.etas.(st.n_etas) <- { e_row = r; e_piv = d_col.(r); e_idx = idx;
+                           e_val = vals };
+  st.n_etas <- st.n_etas + 1;
+  if st.n_etas >= refactor_every then begin
+    refactor st;
+    compute_xb st
+  end
+
+let ftran_col st j =
+  let v = Array.make st.std.m 0. in
+  iter_col st.std j (fun i a -> v.(i) <- v.(i) +. a);
+  ftran st v;
+  v
+
+let unit_btran st r =
+  let v = Array.make st.std.m 0. in
+  v.(r) <- 1.;
+  btran st v;
+  v
+
+(* Reduced costs d_j = c_j - y . A_j with y = B^-T c_B, for every nonbasic
+   column (basic entries left at 0). Recomputed from scratch each pricing
+   round: O(m^2) for the BTRAN plus O(nnz) for the dot products, which the
+   FTRAN of the chosen column matches anyway. *)
+let reduced_costs st cost =
+  let std = st.std in
+  let y = Array.make std.m 0. in
+  for i = 0 to std.m - 1 do
+    y.(i) <- cost.(st.bas.(i))
+  done;
+  btran st y;
+  let d = Array.make std.n_cols 0. in
+  for j = 0 to std.n_cols - 1 do
+    if st.stat.(j) <> st_basic then d.(j) <- cost.(j) -. col_dot std j y
+  done;
+  d
+
+exception Iteration_limit
+
+type phase_outcome = P_optimal | P_unbounded
+
+(* Primal bounded-variable simplex on cost vector [cost]. Artificials never
+   enter (their bounds are fixed outside phase 1, and inside phase 1 they
+   only leave). Dantzig pricing; permanent switch to Bland's rule after a
+   degenerate-pivot streak or an iteration budget. *)
+let primal_phase st ~cost ?iters_counter ~max_iterations () =
+  let std = st.std in
+  let m = std.m in
+  let bland_after_iters = max 5_000 (10 * (m + std.n_cols)) in
+  let iters = ref 0 in
+  let bland = ref false in
+  let streak = ref 0 in
+  let fixed j = std.up.(j) -. std.lo.(j) <= 0. in
   let rec loop () =
     incr iters;
     (match iters_counter with
     | Some c -> Obs.Metrics.incr c
     | None -> ());
-    if !iters > max_iterations then
-      failwith "Lp.Simplex: iteration limit exceeded";
-    match choose_entering () with
-    | None -> ()
-    | Some col -> (
-        match choose_leaving col with
-        | None -> raise Unbounded_direction
-        | Some row ->
-            pivot tab ~row ~col;
-            loop ())
+    if !iters > max_iterations then raise Iteration_limit;
+    if (not !bland) && !iters > bland_after_iters then begin
+      bland := true;
+      Obs.Metrics.incr c_bland
+    end;
+    let d = reduced_costs st cost in
+    let eligible j =
+      j < std.art_start
+      && st.stat.(j) <> st_basic
+      && (not (fixed j))
+      && ((st.stat.(j) = st_lower && d.(j) < -.reduced_cost_tol)
+         || (st.stat.(j) = st_upper && d.(j) > reduced_cost_tol))
+    in
+    let entering =
+      if !bland then begin
+        let rec find j =
+          if j >= std.art_start then None
+          else if eligible j then Some j
+          else find (j + 1)
+        in
+        find 0
+      end
+      else begin
+        let best = ref (-1) and best_v = ref reduced_cost_tol in
+        for j = 0 to std.art_start - 1 do
+          if eligible j && Float.abs d.(j) > !best_v then begin
+            best := j;
+            best_v := Float.abs d.(j)
+          end
+        done;
+        if !best >= 0 then Some !best else None
+      end
+    in
+    match entering with
+    | None -> P_optimal
+    | Some j ->
+        let from_lower = st.stat.(j) = st_lower in
+        let dir = if from_lower then 1. else -1. in
+        let d_col = ftran_col st j in
+        (* Ratio test: x_j moves by t >= 0 in direction [dir]; basic i
+           changes at rate -(dir * d_col.(i)). *)
+        let best = ref (-1) and best_r = ref infinity
+        and best_a = ref 0. and best_bound = ref st_lower in
+        for i = 0 to m - 1 do
+          let a = dir *. d_col.(i) in
+          if a > pivot_tol then begin
+            let lo_i = std.lo.(st.bas.(i)) in
+            if Float.is_finite lo_i then begin
+              let r = (st.xb.(i) -. lo_i) /. a in
+              let r = if r < 0. then 0. else r in
+              if
+                r < !best_r -. 1e-12
+                || (r <= !best_r +. 1e-12
+                    && !best >= 0
+                    && (if !bland then st.bas.(i) < st.bas.(!best)
+                       else
+                         a > !best_a +. 1e-12
+                         || (a >= !best_a -. 1e-12
+                            && st.bas.(i) < st.bas.(!best))))
+              then begin
+                best := i;
+                best_r := r;
+                best_a := a;
+                best_bound := st_lower
+              end
+            end
+          end
+          else if a < -.pivot_tol then begin
+            let up_i = std.up.(st.bas.(i)) in
+            if Float.is_finite up_i then begin
+              let r = (up_i -. st.xb.(i)) /. -.a in
+              let r = if r < 0. then 0. else r in
+              let abs_a = -.a in
+              if
+                r < !best_r -. 1e-12
+                || (r <= !best_r +. 1e-12
+                    && !best >= 0
+                    && (if !bland then st.bas.(i) < st.bas.(!best)
+                       else
+                         abs_a > !best_a +. 1e-12
+                         || (abs_a >= !best_a -. 1e-12
+                            && st.bas.(i) < st.bas.(!best))))
+              then begin
+                best := i;
+                best_r := r;
+                best_a := abs_a;
+                best_bound := st_upper
+              end
+            end
+          end
+        done;
+        let range = std.up.(j) -. std.lo.(j) in
+        if Float.min range !best_r = infinity then P_unbounded
+        else if range <= !best_r then begin
+          (* Bound flip: j runs to its opposite bound, no basis change. *)
+          for i = 0 to m - 1 do
+            st.xb.(i) <- st.xb.(i) -. (dir *. d_col.(i) *. range)
+          done;
+          st.stat.(j) <- (if from_lower then st_upper else st_lower);
+          streak := 0;
+          loop ()
+        end
+        else begin
+          let t = !best_r in
+          let r = !best in
+          for i = 0 to m - 1 do
+            st.xb.(i) <- st.xb.(i) -. (dir *. d_col.(i) *. t)
+          done;
+          let l = st.bas.(r) in
+          st.bas.(r) <- j;
+          st.xb.(r) <- nb_val st j +. (dir *. t);
+          st.stat.(j) <- st_basic;
+          st.stat.(l) <- !best_bound;
+          Obs.Metrics.incr c_pivots;
+          if t <= degenerate_step then begin
+            Obs.Metrics.incr c_degenerate;
+            incr streak;
+            if (not !bland) && !streak >= bland_after_degenerate then begin
+              bland := true;
+              Obs.Metrics.incr c_bland
+            end
+          end
+          else streak := 0;
+          push_eta st r d_col;
+          loop ()
+        end
   in
   loop ()
 
-(* Rebuild the reduced-cost row for cost vector [cost] (length n_cols; rhs
-   cell set to 0) priced out against the current basis. *)
-let set_objective tab cost =
-  let n_cols = tab.n_cols in
-  Array.blit cost 0 tab.obj 0 n_cols;
-  tab.obj.(n_cols) <- 0.;
-  Array.iteri
-    (fun i b ->
-      let cb = cost.(b) in
-      if cb <> 0. then begin
-        let row = tab.t.(i) in
-        for j = 0 to n_cols do
-          tab.obj.(j) <- tab.obj.(j) -. (cb *. row.(j))
-        done
-      end)
-    tab.basis
-
-(* After phase 1, drive artificial variables out of the basis. Rows where no
-   non-artificial pivot exists are redundant; their artificial stays basic at
-   value 0, which is harmless because artificials are blocked in phase 2. *)
-let expel_artificials tab =
-  let m = Array.length tab.t in
-  for i = 0 to m - 1 do
-    if tab.basis.(i) >= tab.art_start then begin
-      let col = ref (-1) in
-      let j = ref 0 in
-      while !col < 0 && !j < tab.art_start do
-        if Float.abs tab.t.(i).(!j) > 1e-7 then col := !j;
-        incr j
+(* Dual simplex: restore primal feasibility while keeping the (given) cost
+   vector's dual feasibility — the warm-start workhorse. Leaving row by
+   largest bound violation; entering by the bounded-variable dual ratio test
+   (min |d_j| / |alpha_j| over sign-eligible nonbasics). *)
+let dual_phase st ~cost ~max_iterations =
+  let std = st.std in
+  let m = std.m in
+  let iters = ref 0 in
+  let fixed j = std.up.(j) -. std.lo.(j) <= 0. in
+  let rec loop () =
+    incr iters;
+    if !iters > max_iterations then raise Iteration_limit;
+    let r = ref (-1) and viol = ref feasibility_tol in
+    for i = 0 to m - 1 do
+      let j = st.bas.(i) in
+      let v = Float.max (std.lo.(j) -. st.xb.(i)) (st.xb.(i) -. std.up.(j)) in
+      if v > !viol then begin
+        r := i;
+        viol := v
+      end
+    done;
+    if !r < 0 then `Feasible
+    else begin
+      let r = !r in
+      let jl = st.bas.(r) in
+      let sigma = if st.xb.(r) < std.lo.(jl) then 1. else -1. in
+      let w = unit_btran st r in
+      let d = reduced_costs st cost in
+      let best = ref (-1) and best_ratio = ref infinity
+      and best_alpha = ref 0. in
+      for j = 0 to std.n_cols - 1 do
+        if st.stat.(j) <> st_basic && not (fixed j) then begin
+          let alpha = sigma *. col_dot std j w in
+          if
+            (st.stat.(j) = st_lower && alpha < -.pivot_tol)
+            || (st.stat.(j) = st_upper && alpha > pivot_tol)
+          then begin
+            let ratio = Float.abs d.(j) /. Float.abs alpha in
+            if
+              ratio < !best_ratio -. 1e-12
+              || (ratio <= !best_ratio +. 1e-12
+                  && Float.abs alpha > Float.abs !best_alpha +. 1e-12)
+            then begin
+              best := j;
+              best_ratio := ratio;
+              best_alpha := alpha
+            end
+          end
+        end
       done;
-      if !col >= 0 then pivot tab ~row:i ~col:!col
+      if !best < 0 then `Infeasible
+      else begin
+        let j = !best in
+        let d_col = ftran_col st j in
+        let alpha_r = d_col.(r) in
+        if Float.abs alpha_r < 1e-11 then
+          (* BTRAN/FTRAN numerical disagreement; treat as a failed warm
+             start rather than risking a wrong-direction step. *)
+          raise Iteration_limit
+        else begin
+          let beta = if sigma > 0. then std.lo.(jl) else std.up.(jl) in
+          let t = (st.xb.(r) -. beta) /. alpha_r in
+          for i = 0 to m - 1 do
+            st.xb.(i) <- st.xb.(i) -. (t *. d_col.(i))
+          done;
+          st.bas.(r) <- j;
+          st.xb.(r) <- nb_val st j +. t;
+          st.stat.(j) <- st_basic;
+          st.stat.(jl) <- (if sigma > 0. then st_lower else st_upper);
+          Obs.Metrics.incr c_pivots;
+          if Float.abs t <= degenerate_step then Obs.Metrics.incr c_degenerate;
+          push_eta st r d_col;
+          loop ()
+        end
+      end
+    end
+  in
+  loop ()
+
+(* After phase 1, drive artificials out of the basis where a non-artificial
+   pivot exists (zero-step exchange); truly redundant rows keep their
+   artificial basic at 0, harmless because artificial bounds are [0,0] from
+   here on. *)
+let expel_artificials st =
+  let std = st.std in
+  for r = 0 to std.m - 1 do
+    if st.bas.(r) >= std.art_start then begin
+      let w = unit_btran st r in
+      let j = ref (-1) and k = ref 0 in
+      while !j < 0 && !k < std.art_start do
+        if st.stat.(!k) <> st_basic && Float.abs (col_dot std !k w) > 1e-7
+        then j := !k;
+        incr k
+      done;
+      if !j >= 0 then begin
+        let jj = !j in
+        let d_col = ftran_col st jj in
+        if Float.abs d_col.(r) > 1e-9 then begin
+          let art = st.bas.(r) in
+          st.bas.(r) <- jj;
+          st.xb.(r) <- nb_val st jj;
+          st.stat.(jj) <- st_basic;
+          st.stat.(art) <- st_lower;
+          Obs.Metrics.incr c_pivots;
+          Obs.Metrics.incr c_degenerate;
+          push_eta st r d_col
+        end
+      end
     end
   done
 
-let solve ?max_iterations (p : Problem.t) =
-  let n = p.n_vars in
-  let rows = prepare p in
-  let tab = build_tableau n rows in
-  let m = Array.length tab.t in
-  let max_iterations =
-    match max_iterations with
-    | Some k -> k
-    | None -> max 20_000 (50 * (m + tab.n_cols))
-  in
-  (* Phase 1: minimize the sum of artificials. *)
-  let phase1_cost = Array.make tab.n_cols 0. in
-  for j = tab.art_start to tab.n_cols - 1 do
-    phase1_cost.(j) <- 1.
+let capture key st =
+  {
+    bas_key = key;
+    bas_m = st.std.m;
+    bas_cols = Array.copy st.bas;
+    bas_stat = Array.copy st.stat;
+  }
+
+let extract (p : Problem.t) st =
+  let std = st.std in
+  let x = Array.copy p.lower in
+  for v = 0 to std.n - 1 do
+    if st.stat.(v) = st_upper then x.(v) <- p.upper.(v)
   done;
-  set_objective tab phase1_cost;
-  (match run_phase ~iters_counter:c_phase1_iters ~max_iterations tab with
-  | () -> ()
-  | exception Unbounded_direction ->
-      (* Phase 1 objective is bounded below by 0; cannot happen. *)
-      assert false);
-  let phase1_value = -.tab.obj.(tab.n_cols) in
-  if phase1_value > feasibility_tol then Infeasible
-  else begin
-    expel_artificials tab;
-    (* Phase 2 on the real objective, in minimization convention. *)
-    let sign = match p.sense with Problem.Minimize -> 1. | Maximize -> -1. in
-    let phase2_cost = Array.make tab.n_cols 0. in
-    (* Costs apply to shifted variables; the constant sign *. c'lower is
-       re-added when reporting. *)
-    for v = 0 to n - 1 do
-      phase2_cost.(v) <- sign *. p.objective.(v)
+  for i = 0 to std.m - 1 do
+    let j = st.bas.(i) in
+    if j < std.n then begin
+      let v = st.xb.(i) in
+      let v = if Float.abs v < feasibility_tol then 0. else v in
+      x.(j) <- p.lower.(j) +. v
+    end
+  done;
+  (* Clamp tiny bound violations from floating-point drift. *)
+  for v = 0 to std.n - 1 do
+    if x.(v) < p.lower.(v) then x.(v) <- p.lower.(v);
+    if x.(v) > p.upper.(v) then x.(v) <- p.upper.(v)
+  done;
+  Optimal { objective = Problem.objective_value p x; x }
+
+let default_iterations std = max 20_000 (50 * (std.m + std.n_cols))
+
+(* Cold start: classic two-phase. The initial basis is the logical of every
+   row whose rhs its bounds admit, else that row's artificial widened to the
+   rhs's side ([0, inf) with cost +1, or (-inf, 0] with cost -1) — the
+   column layout itself never depends on the rhs. *)
+let solve_cold ~key ~max_iterations (p : Problem.t) std =
+  let m = std.m in
+  let stat = Array.make std.n_cols st_lower in
+  for j = 0 to std.n_cols - 1 do
+    if not (Float.is_finite std.lo.(j)) then stat.(j) <- st_upper
+  done;
+  let bas = Array.make m 0 in
+  let xb = Array.make m 0. in
+  let need_phase1 = ref false in
+  let phase1_cost = Array.make std.n_cols 0. in
+  for i = 0 to m - 1 do
+    let logical = std.n + i and art = std.n + m + i in
+    let bi = std.b.(i) in
+    if std.lo.(logical) -. 1e-12 <= bi && bi <= std.up.(logical) +. 1e-12
+    then begin
+      bas.(i) <- logical;
+      stat.(logical) <- st_basic
+    end
+    else begin
+      need_phase1 := true;
+      bas.(i) <- art;
+      stat.(art) <- st_basic;
+      if bi >= 0. then begin
+        std.lo.(art) <- 0.;
+        std.up.(art) <- infinity;
+        phase1_cost.(art) <- 1.
+      end
+      else begin
+        std.lo.(art) <- neg_infinity;
+        std.up.(art) <- 0.;
+        phase1_cost.(art) <- -1.
+      end
+    end;
+    xb.(i) <- bi
+  done;
+  (* The initial basis matrix is the identity (logicals and artificials are
+     unit columns), so its factorization is free. *)
+  let lu0 =
+    Lu.factor m (fun bmat ->
+        for k = 0 to m - 1 do
+          bmat.(k).(k) <- 1.
+        done)
+  in
+  let st =
+    { std; bas; stat; xb; lu = lu0;
+      etas = Array.make refactor_every dummy_eta;
+      n_etas = 0 }
+  in
+  if !need_phase1 then begin
+    (match
+       primal_phase st ~cost:phase1_cost ~iters_counter:c_phase1_iters
+         ~max_iterations ()
+     with
+    | P_optimal -> ()
+    | P_unbounded ->
+        (* Phase 1 objective is bounded below by 0; cannot happen. *)
+        assert false);
+    let infeas = ref 0. in
+    for i = 0 to m - 1 do
+      if st.bas.(i) >= std.art_start then
+        infeas := !infeas +. Float.abs st.xb.(i)
     done;
-    set_objective tab phase2_cost;
-    let blocked j = j >= tab.art_start in
-    match run_phase ~blocked ~max_iterations tab with
-    | exception Unbounded_direction -> Unbounded
-    | () ->
-        let x = Array.copy p.lower in
-        Array.iteri
-          (fun i b ->
-            if b < n then begin
-              let v = tab.t.(i).(tab.n_cols) in
-              let v = if Float.abs v < feasibility_tol then 0. else v in
-              x.(b) <- x.(b) +. v
-            end)
-          tab.basis;
-        (* Clamp tiny bound violations from floating-point drift. *)
-        for v = 0 to n - 1 do
-          if x.(v) < p.lower.(v) then x.(v) <- p.lower.(v);
-          if x.(v) > p.upper.(v) then x.(v) <- p.upper.(v)
-        done;
-        Optimal { objective = Problem.objective_value p x; x }
+    if !infeas > feasibility_tol then (Infeasible, None)
+    else begin
+      (* Pin every artificial back to [0,0] and clear it from the basis
+         where possible before phase 2. *)
+      for i = 0 to m - 1 do
+        let art = std.n + m + i in
+        std.lo.(art) <- 0.;
+        std.up.(art) <- 0.
+      done;
+      expel_artificials st;
+      match primal_phase st ~cost:std.cost ~max_iterations () with
+      | P_unbounded -> (Unbounded, None)
+      | P_optimal -> (extract p st, Some (capture key st))
+    end
   end
+  else
+    match primal_phase st ~cost:std.cost ~max_iterations () with
+    | P_unbounded -> (Unbounded, None)
+    | P_optimal -> (extract p st, Some (capture key st))
+
+exception Incompatible_basis
+
+(* Warm start: install the basis, refactorize, restore dual feasibility of
+   the phase-2 costs by bound-flipping nonbasics where needed, then run the
+   dual simplex until primal feasible (or proven infeasible) and finish with
+   a primal clean-up phase. Any structural mismatch or numerical trouble
+   raises and the caller falls back to a cold start. *)
+let solve_warm ~key ~max_iterations (p : Problem.t) std (bz : basis) =
+  if bz.bas_key <> key || bz.bas_m <> std.m
+     || Array.length bz.bas_stat <> std.n_cols
+  then raise Incompatible_basis;
+  let m = std.m in
+  let stat = Array.copy bz.bas_stat in
+  let bas = Array.copy bz.bas_cols in
+  let seen = Array.make std.n_cols false in
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= std.n_cols || seen.(j) || stat.(j) <> st_basic then
+        raise Incompatible_basis;
+      seen.(j) <- true)
+    bas;
+  let basic_count = ref 0 in
+  for j = 0 to std.n_cols - 1 do
+    match stat.(j) with
+    | s when s = st_basic -> incr basic_count
+    | s when s = st_lower ->
+        if not (Float.is_finite std.lo.(j)) then raise Incompatible_basis
+    | s when s = st_upper ->
+        if not (Float.is_finite std.up.(j)) then raise Incompatible_basis
+    | _ -> raise Incompatible_basis
+  done;
+  if !basic_count <> m then raise Incompatible_basis;
+  Obs.Metrics.incr c_refactor;
+  let lu0 =
+    Lu.factor m (fun bmat ->
+        for k = 0 to m - 1 do
+          iter_col std bas.(k) (fun i a -> bmat.(i).(k) <- bmat.(i).(k) +. a)
+        done)
+  in
+  let st =
+    { std; bas; stat; xb = Array.make m 0.; lu = lu0;
+      etas = Array.make refactor_every dummy_eta;
+      n_etas = 0 }
+  in
+  compute_xb st;
+  (* Bound-flip nonbasics whose reduced cost has the wrong sign for their
+     bound; a variable with no opposite finite bound cannot be repaired. *)
+  let d = reduced_costs st std.cost in
+  let flips = ref 0 in
+  for j = 0 to std.n_cols - 1 do
+    if st.stat.(j) = st_lower && d.(j) < -.feasibility_tol then begin
+      if not (Float.is_finite std.up.(j)) then raise Incompatible_basis;
+      st.stat.(j) <- st_upper;
+      incr flips
+    end
+    else if st.stat.(j) = st_upper && d.(j) > feasibility_tol then begin
+      if not (Float.is_finite std.lo.(j)) then raise Incompatible_basis;
+      st.stat.(j) <- st_lower;
+      incr flips
+    end
+  done;
+  if !flips > 0 then compute_xb st;
+  Obs.Metrics.incr c_warm;
+  match dual_phase st ~cost:std.cost ~max_iterations with
+  | `Infeasible -> (Infeasible, Some (capture key st))
+  | `Feasible -> (
+      match primal_phase st ~cost:std.cost ~max_iterations () with
+      | P_unbounded -> (Unbounded, None)
+      | P_optimal -> (extract p st, Some (capture key st)))
+
+let dense_requested () =
+  match Sys.getenv_opt "VMALLOC_DENSE_LP" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let convert_dense = function
+  | Dense_simplex.Optimal { Dense_simplex.objective; x } ->
+      Optimal { objective; x }
+  | Dense_simplex.Infeasible -> Infeasible
+  | Dense_simplex.Unbounded -> Unbounded
+
+let solve_basis ?max_iterations ?warm_basis (p : Problem.t) =
+  if dense_requested () then
+    (convert_dense (Dense_simplex.solve ?max_iterations p), None)
+  else begin
+    let std = build p in
+    let key = layout_key p in
+    let max_iterations =
+      match max_iterations with
+      | Some k -> k
+      | None -> default_iterations std
+    in
+    let cold () =
+      match solve_cold ~key ~max_iterations p std with
+      | result -> result
+      | exception Iteration_limit ->
+          failwith "Lp.Simplex: iteration limit exceeded"
+      | exception Lu.Singular ->
+          failwith "Lp.Simplex: numerically singular basis"
+    in
+    match warm_basis with
+    | None -> cold ()
+    | Some bz -> (
+        match solve_warm ~key ~max_iterations p std bz with
+        | result -> result
+        | exception (Incompatible_basis | Iteration_limit | Lu.Singular) ->
+            (* The warm path never widens artificial bounds, so a cold
+               start on the same [std] is safe after any warm failure. *)
+            cold ())
+  end
+
+let solve ?max_iterations ?warm_basis (p : Problem.t) =
+  fst (solve_basis ?max_iterations ?warm_basis p)

@@ -1,30 +1,63 @@
-(** Two-phase dense primal simplex.
+(** Sparse revised simplex with bounded variables and warm starts.
 
     Solves the rational relaxation of a {!Problem.t} (integrality flags are
-    ignored — use {!Branch_bound} for MILPs). The implementation is the
-    classic full-tableau method:
+    ignored — use {!Branch_bound} for MILPs). Unlike the dense tableau kept
+    in {!Dense_simplex}, this is a revised method:
 
-    - variable lower bounds are shifted out and finite upper bounds become
-      explicit rows, so the working form is [min c'x, Ax {<=,>=,=} b, x >= 0];
-    - phase 1 minimizes the sum of artificial variables to find a basic
-      feasible solution; phase 2 optimizes the real objective;
-    - Dantzig pricing with an automatic permanent switch to Bland's rule
-      after an iteration budget, guaranteeing termination.
+    - the constraint matrix is stored once in CSC form
+      ({!Problem.Csc}); finite upper bounds stay {e variable} bounds
+      handled by the bounded-variable ratio test (including bound flips),
+      never explicit rows;
+    - the basis inverse is a product form: a dense LU of the basis
+      refactorized periodically, times a bounded eta file updated one eta
+      per pivot (counted under [simplex.refactorizations]);
+    - Dantzig pricing with a permanent switch to Bland's rule after a
+      consecutive degenerate-pivot streak (or an iteration budget),
+      counted under [simplex.bland_switches];
+    - {!solve} accepts a basis captured from a previous solve
+      ([?warm_basis]) and re-optimizes with the {e dual} simplex: the
+      column layout depends only on the variable count and the
+      constraint-relation sequence — never the rhs or bounds — so the
+      optimal basis of one yield probe (or branch-and-bound parent) is
+      dual feasible for the next and usually a handful of pivots from
+      optimal. Successful installs are counted under
+      [simplex.warm_starts]; any mismatch or numerical trouble falls back
+      to a cold start, so warm starts can change pivot counts but never
+      verdicts beyond the solver's tolerances.
 
-    The dense tableau is O((m+u)·(n+m)) memory for [m] constraints, [u]
-    finite upper bounds and [n] variables, which is ample for the
-    reduced-size instances the LP-based algorithms of the paper (RRND/RRNZ,
-    exact bounds) are exercised on; see DESIGN.md §3. *)
+    Setting [VMALLOC_DENSE_LP=1] in the environment routes every solve
+    through {!Dense_simplex} (ignoring [?warm_basis]) — the differential
+    escape hatch, also exercised as a CI leg. See DESIGN.md §12. *)
 
 type solution = { objective : float; x : float array }
 
 type result = Optimal of solution | Infeasible | Unbounded
 
-val solve : ?max_iterations:int -> Problem.t -> result
-(** Solve the LP relaxation. [max_iterations] defaults to
-    [max 20_000 (50 * (m + n))]; if exhausted the solver raises [Failure]
-    (never observed on the test corpus — the bound is an anti-hang guard). *)
+type basis
+(** A basis captured from a previous solve: which column is basic in each
+    row plus the at-lower/at-upper status of every nonbasic column, tagged
+    with a fingerprint of the column layout it belongs to. Immutable and
+    reusable across any number of later solves. *)
+
+val solve :
+  ?max_iterations:int -> ?warm_basis:basis -> Problem.t -> result
+(** Solve the LP relaxation. [max_iterations] (default
+    [max 20_000 (50 * (m + n))], per phase) bounds each simplex phase; if a
+    cold solve exhausts it the solver raises [Failure] (anti-hang guard,
+    never observed on the test corpus) — a warm solve falls back to cold
+    first. [warm_basis] must come from a problem with the same variable
+    count and constraint-relation sequence (rhs, bounds and objective may
+    differ); incompatible bases are silently ignored (cold start). *)
+
+val solve_basis :
+  ?max_iterations:int -> ?warm_basis:basis -> Problem.t ->
+  result * basis option
+(** Like {!solve}, additionally returning the final basis for reuse:
+    [Some b] on [Optimal] (cold or warm) and on warm-started [Infeasible]
+    (the dual-feasible basis that proved infeasibility — still a good start
+    for the next probe); [None] on [Unbounded], on cold [Infeasible], and
+    always under [VMALLOC_DENSE_LP=1]. *)
 
 val feasibility_tol : float
-(** Tolerance used to declare phase-1 success and to clean near-zero values
-    in the returned point. *)
+(** Tolerance used to declare phase-1 success, accept primal feasibility in
+    the dual simplex, and clean near-zero values in the returned point. *)

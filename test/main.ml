@@ -7,6 +7,8 @@ let () =
       ("vector", Test_vector.suite);
       ("epair+metric", Test_epair.suite);
       ("lp", Test_lp.suite);
+      ("simplex-diff", Test_simplex_diff.suite);
+      ("branch-bound", Test_branch_bound.suite);
       ("model", Test_model.suite);
       ("codec", Test_codec.suite);
       ("packing", Test_packing.suite);

@@ -354,6 +354,53 @@ let test_simplex_counters () =
   Alcotest.(check bool) "degenerate pivots counted" true
     (v "simplex.degenerate_pivots" > 0)
 
+(* Beale's classic cycling LP: under pure Dantzig pricing with naive
+   tie-breaking this example cycles forever at the degenerate origin.
+   Forcing the Bland switchover after a single degenerate pivot
+   ([~bland_after_degenerate:1]) proves the anti-cycling path terminates at
+   the true optimum (-0.05 at x = (0.04, 0, 1, 0)) and lands on the
+   [simplex.bland_switches] counter; the default-parameter solve and the
+   revised solver must reach the same optimum. *)
+let beale =
+  Lp.Problem.create ~sense:Lp.Problem.Minimize ~n_vars:4
+    ~objective:[| -0.75; 150.; -0.02; 6. |]
+    ~constraints:
+      [
+        c [ (0, 0.25); (1, -60.); (2, -0.04); (3, 9.) ] Le 0.;
+        c [ (0, 0.5); (1, -90.); (2, -0.02); (3, 3.) ] Le 0.;
+        c [ (2, 1.) ] Le 1.;
+      ]
+    ()
+
+let test_beale_bland_switchover () =
+  let was_enabled = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled false;
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ();
+      Obs.Metrics.set_enabled was_enabled)
+  @@ fun () ->
+  (match Lp.Dense_simplex.solve ~bland_after_degenerate:1 beale with
+  | Lp.Dense_simplex.Optimal s ->
+      check_float "forced-Bland optimum" (-0.05) s.objective;
+      check_float "x1" 0.04 s.x.(0);
+      check_float "x3" 1. s.x.(2)
+  | _ -> Alcotest.fail "Beale LP must be optimal under Bland's rule");
+  Obs.Metrics.set_enabled false;
+  let snap = Obs.Metrics.snapshot () in
+  Alcotest.(check bool) "bland switchover recorded" true
+    (Obs.Metrics.Snapshot.counter_value snap "simplex.bland_switches" >= 1)
+
+let test_beale_default_params () =
+  (match Lp.Dense_simplex.solve beale with
+  | Lp.Dense_simplex.Optimal s -> check_float "dense optimum" (-0.05) s.objective
+  | _ -> Alcotest.fail "dense solve of Beale LP must terminate optimal");
+  match Lp.Simplex.solve beale with
+  | Lp.Simplex.Optimal s -> check_float "revised optimum" (-0.05) s.objective
+  | _ -> Alcotest.fail "revised solve of Beale LP must terminate optimal"
+
 let suite =
   List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
@@ -370,6 +417,8 @@ let suite =
       ("transportation problem", test_transportation);
       ("random LP stress", test_moderate_random_lp_stress);
       ("simplex obs counters", test_simplex_counters);
+      ("Beale cycling LP: Bland switchover", test_beale_bland_switchover);
+      ("Beale cycling LP: default params", test_beale_default_params);
       ("MILP knapsack", test_knapsack);
       ("MILP infeasible", test_milp_infeasible);
       ("MILP relaxation gap", test_milp_relaxation_gap);

@@ -1,0 +1,355 @@
+(* LP differential test harness (DESIGN.md §12).
+
+   Locks the sparse revised {!Lp.Simplex} against the dense tableau oracle
+   {!Lp.Dense_simplex} on the {!Lp_gen} random families, and locks
+   warm-started probe sequences against cold ones on Table-1-style
+   instances. Pivot-count assertions read the lib/obs counters, so they are
+   skipped when the [VMALLOC_DENSE_LP=1] CI leg routes every solve through
+   the dense oracle (warm starts are ignored there by design). *)
+
+let dense_env_on () =
+  match Sys.getenv_opt "VMALLOC_DENSE_LP" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+(* Run [f] with metrics freshly enabled, returning (result, counter reader);
+   restores the previous metric state afterwards. *)
+let with_metrics f =
+  let was_enabled = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled false;
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ();
+      Obs.Metrics.set_enabled was_enabled)
+  @@ fun () ->
+  let result = f () in
+  Obs.Metrics.set_enabled false;
+  let snap = Obs.Metrics.snapshot () in
+  (result, fun name -> Obs.Metrics.Snapshot.counter_value snap name)
+
+let sizes = [ (4, 3); (6, 6); (9, 12) ]
+let seeds = [ 0; 1; 2; 3; 4 ]
+
+let corpus family =
+  List.concat_map
+    (fun (n_vars, n_cons) ->
+      List.map
+        (fun seed -> (seed, n_vars, n_cons,
+                      Lp_gen.generate ~seed ~n_vars ~n_cons family))
+        seeds)
+    sizes
+
+(* Generator determinism: same seed => byte-identical problem. *)
+
+let test_generator_deterministic () =
+  List.iter
+    (fun family ->
+      let gen seed = Lp_gen.generate ~seed ~n_vars:7 ~n_cons:9 family in
+      let name = Lp_gen.family_name family in
+      Alcotest.(check string)
+        (name ^ ": same seed, same bytes")
+        (Lp_gen.to_bytes (gen 42))
+        (Lp_gen.to_bytes (gen 42));
+      Alcotest.(check bool)
+        (name ^ ": different seed, different bytes")
+        false
+        (Lp_gen.to_bytes (gen 42) = Lp_gen.to_bytes (gen 43)))
+    Lp_gen.all_families;
+  let m seed = Lp_gen.generate_milp ~seed ~n_vars:5 ~n_cons:4 () in
+  Alcotest.(check string) "milp: same seed, same bytes"
+    (Lp_gen.to_bytes (m 7)) (Lp_gen.to_bytes (m 7))
+
+(* Dense-vs-revised agreement on every family. The family fixes the
+   expected verdict by construction, so a solver disagreeing with the
+   oracle AND the construction cannot hide. *)
+
+let check_optimal_pair ~ctx p =
+  match (Lp.Dense_simplex.solve p, Lp.Simplex.solve p) with
+  | Lp.Dense_simplex.Optimal d, Lp.Simplex.Optimal r ->
+      let scale = 1e-6 *. (1. +. Float.abs d.objective) in
+      Alcotest.(check bool)
+        (ctx ^ ": objectives agree")
+        true
+        (Float.abs (d.objective -. r.objective) <= scale);
+      Alcotest.(check bool)
+        (ctx ^ ": dense point feasible")
+        true
+        (Lp.Problem.is_feasible ~tol:1e-5 p d.x);
+      Alcotest.(check bool)
+        (ctx ^ ": revised point feasible")
+        true
+        (Lp.Problem.is_feasible ~tol:1e-5 p r.x)
+  | d, r ->
+      Alcotest.failf "%s: expected Optimal/Optimal, got %s/%s" ctx
+        (match d with
+        | Lp.Dense_simplex.Optimal _ -> "Optimal"
+        | Lp.Dense_simplex.Infeasible -> "Infeasible"
+        | Lp.Dense_simplex.Unbounded -> "Unbounded")
+        (match r with
+        | Lp.Simplex.Optimal _ -> "Optimal"
+        | Lp.Simplex.Infeasible -> "Infeasible"
+        | Lp.Simplex.Unbounded -> "Unbounded")
+
+let test_family_optimal family () =
+  List.iter
+    (fun (seed, n_vars, n_cons, p) ->
+      let ctx =
+        Printf.sprintf "%s seed=%d %dx%d" (Lp_gen.family_name family) seed
+          n_vars n_cons
+      in
+      check_optimal_pair ~ctx p)
+    (corpus family)
+
+let test_family_infeasible () =
+  List.iter
+    (fun (seed, n_vars, n_cons, p) ->
+      let ctx = Printf.sprintf "infeasible seed=%d %dx%d" seed n_vars n_cons in
+      (match Lp.Dense_simplex.solve p with
+      | Lp.Dense_simplex.Infeasible -> ()
+      | _ -> Alcotest.fail (ctx ^ ": dense must report infeasible"));
+      match Lp.Simplex.solve p with
+      | Lp.Simplex.Infeasible -> ()
+      | _ -> Alcotest.fail (ctx ^ ": revised must report infeasible"))
+    (corpus Lp_gen.Infeasible)
+
+let test_family_unbounded () =
+  List.iter
+    (fun (seed, n_vars, n_cons, p) ->
+      let ctx = Printf.sprintf "unbounded seed=%d %dx%d" seed n_vars n_cons in
+      (match Lp.Dense_simplex.solve p with
+      | Lp.Dense_simplex.Unbounded -> ()
+      | _ -> Alcotest.fail (ctx ^ ": dense must report unbounded"));
+      match Lp.Simplex.solve p with
+      | Lp.Simplex.Unbounded -> ()
+      | _ -> Alcotest.fail (ctx ^ ": revised must report unbounded"))
+    (corpus Lp_gen.Unbounded)
+
+(* Basis round-trip: re-solving the same problem warm from its own optimal
+   basis must agree with the cold solve, and the warm re-solve must not
+   pivot more than the cold one. *)
+
+let test_warm_resolve_agrees () =
+  List.iter
+    (fun (seed, n_vars, n_cons, p) ->
+      let ctx = Printf.sprintf "warm seed=%d %dx%d" seed n_vars n_cons in
+      let (cold, basis), pivots_of =
+        with_metrics (fun () -> Lp.Simplex.solve_basis p)
+      in
+      let cold_pivots = pivots_of "simplex.pivots" in
+      match cold with
+      | Lp.Simplex.Optimal c ->
+          if dense_env_on () then
+            Alcotest.(check bool)
+              (ctx ^ ": dense leg returns no basis")
+              true (basis = None)
+          else begin
+            let b =
+              match basis with
+              | Some b -> b
+              | None -> Alcotest.fail (ctx ^ ": optimal solve must yield basis")
+            in
+            let (warm, basis'), pivots_of' =
+              with_metrics (fun () -> Lp.Simplex.solve_basis ~warm_basis:b p)
+            in
+            (match warm with
+            | Lp.Simplex.Optimal w ->
+                Alcotest.(check bool)
+                  (ctx ^ ": warm objective agrees")
+                  true
+                  (Float.abs (w.objective -. c.objective)
+                   <= 1e-6 *. (1. +. Float.abs c.objective))
+            | _ -> Alcotest.fail (ctx ^ ": warm re-solve must stay optimal"));
+            Alcotest.(check bool)
+              (ctx ^ ": warm re-solve returns basis")
+              true (basis' <> None);
+            Alcotest.(check bool) (ctx ^ ": warm start recorded") true
+              (pivots_of' "simplex.warm_starts" > 0);
+            Alcotest.(check bool)
+              (ctx ^ ": warm pivots <= cold pivots")
+              true
+              (pivots_of' "simplex.pivots" <= cold_pivots)
+          end
+      | _ -> Alcotest.fail (ctx ^ ": feasible family must be optimal"))
+    (corpus Lp_gen.Feasible)
+
+(* Pivot-count regression bound: the revised solver on the largest
+   generated feasible/degenerate LPs must stay within a generous pivot
+   budget — a pricing or eta regression shows up as an order-of-magnitude
+   blowup long before it hits the iteration guard. *)
+
+let test_pivot_regression_bound () =
+  if not (dense_env_on ()) then
+    List.iter
+      (fun family ->
+        let budget = 400 in
+        let _, pivots_of =
+          with_metrics (fun () ->
+              List.iter
+                (fun seed ->
+                  ignore
+                    (Lp.Simplex.solve
+                       (Lp_gen.generate ~seed ~n_vars:9 ~n_cons:12 family)))
+                seeds)
+        in
+        let pivots = pivots_of "simplex.pivots" in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %d pivots within budget %d"
+             (Lp_gen.family_name family) pivots budget)
+          true (pivots <= budget))
+      [ Lp_gen.Feasible; Lp_gen.Degenerate ]
+
+(* VMALLOC_DENSE_LP=1 dispatch: under the env toggle the facade must
+   reproduce the dense oracle exactly and return no basis. Restores the
+   variable afterwards ("0" parses as off; there is no Sys.unsetenv). *)
+
+let with_dense_env f =
+  let prev = Sys.getenv_opt "VMALLOC_DENSE_LP" in
+  Unix.putenv "VMALLOC_DENSE_LP" "1";
+  Fun.protect ~finally:(fun () ->
+      Unix.putenv "VMALLOC_DENSE_LP" (Option.value prev ~default:"0"))
+    f
+
+let test_dense_escape_hatch () =
+  let p = Lp_gen.generate ~seed:11 ~n_vars:6 ~n_cons:6 Lp_gen.Feasible in
+  with_dense_env @@ fun () ->
+  let result, basis = Lp.Simplex.solve_basis p in
+  Alcotest.(check bool) "dense leg: no basis" true (basis = None);
+  match (result, Lp.Dense_simplex.solve p) with
+  | Lp.Simplex.Optimal r, Lp.Dense_simplex.Optimal d ->
+      Alcotest.(check (float 1e-9)) "dense leg: oracle objective verbatim"
+        d.objective r.objective
+  | _ -> Alcotest.fail "dense leg must match the oracle verdict"
+
+(* Table-1-style probe sequences: the warm-started yield search must agree
+   with the cold one on the answer while spending strictly fewer pivots.
+   The paper generator scales CPU need to exactly match capacity, so its
+   relaxations are feasible at yield 1 and the search returns after one
+   probe; these hand-built instances oversubscribe CPU by [factor], forcing
+   max yield ~ 1/factor and a full bisection (a dozen-plus probes). *)
+
+let oversubscribed ~seed ~nodes:n_nodes ~services:n_services ~factor =
+  let rng = Prng.Rng.create ~seed in
+  let nodes =
+    Array.init n_nodes (fun id ->
+        Model.Node.make_cores ~id ~cores:4
+          ~cpu:(Prng.Rng.uniform_range rng 1.5 2.5)
+          ~mem:1.0)
+  in
+  let total_cpu =
+    Array.fold_left
+      (fun acc (nd : Model.Node.t) ->
+        acc +. Vec.Vector.get nd.capacity.Vec.Epair.aggregate 0)
+      0. nodes
+  in
+  let per_service = factor *. total_cpu /. Float.of_int n_services in
+  let services =
+    Array.init n_services (fun id ->
+        let agg = per_service *. Prng.Rng.uniform_range rng 0.7 1.3 in
+        Model.Service.make_2d ~id
+          ~mem_req:(Prng.Rng.uniform_range rng 0.05 0.15)
+          ~cpu_need:(agg /. 2., agg) ())
+  in
+  Model.Instance.v ~nodes ~services
+
+let probe_instances =
+  lazy
+    (List.map
+       (fun seed ->
+         (seed, oversubscribed ~seed ~nodes:3 ~services:8 ~factor:2.))
+       [ 1; 2; 3 ])
+
+let run_search ~warm instance =
+  with_metrics (fun () -> Heuristics.Milp.relaxed_yield_search ~warm instance)
+
+let test_probe_sequence_warm_vs_cold () =
+  List.iter
+    (fun (seed, instance) ->
+      let ctx = Printf.sprintf "probe seed=%d" seed in
+      let cold, cold_of = run_search ~warm:false instance in
+      let warm, warm_of = run_search ~warm:true instance in
+      (match (cold, warm) with
+      | Some (_, yc), Some (_, yw) ->
+          Alcotest.(check bool)
+            (ctx ^ ": warm and cold yields agree")
+            true
+            (Float.abs (yc -. yw)
+             <= 2. *. Heuristics.Binary_search.default_tolerance)
+      | None, None -> ()
+      | _ -> Alcotest.fail (ctx ^ ": warm and cold verdicts differ"));
+      if not (dense_env_on ()) then begin
+        Alcotest.(check bool) (ctx ^ ": warm starts recorded") true
+          (warm_of "simplex.warm_starts" > 0);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: warm pivots %d < cold pivots %d" ctx
+             (warm_of "simplex.pivots") (cold_of "simplex.pivots"))
+          true
+          (warm_of "simplex.pivots" < cold_of "simplex.pivots")
+      end)
+    (Lazy.force probe_instances)
+
+(* Probed rounding variants: deterministic given the seed, and their
+   placements are real (water-filled) solutions. *)
+
+let test_probed_rounding_deterministic () =
+  List.iter
+    (fun (seed, instance) ->
+      let ctx = Printf.sprintf "rounding seed=%d" seed in
+      let run algo =
+        match algo ~rng:(Prng.Rng.create ~seed:77) instance with
+        | Some (s : Heuristics.Vp_solver.solution) -> Some s.min_yield
+        | None -> None
+      in
+      let a = run (fun ~rng i -> Heuristics.Rounding.rrnd_probed ~rng i) in
+      let b = run (fun ~rng i -> Heuristics.Rounding.rrnd_probed ~rng i) in
+      Alcotest.(check bool) (ctx ^ ": rrnd-probed deterministic") true (a = b);
+      let c = run (fun ~rng i -> Heuristics.Rounding.rrnz_probed ~rng i) in
+      let d = run (fun ~rng i -> Heuristics.Rounding.rrnz_probed ~rng i) in
+      Alcotest.(check bool) (ctx ^ ": rrnz-probed deterministic") true (c = d);
+      match run (fun ~rng i -> Heuristics.Rounding.rrnz_probed ~rng i) with
+      | Some y -> Alcotest.(check bool) (ctx ^ ": yield in [0,1]") true
+                    (y >= 0. && y <= 1.)
+      | None -> ())
+    (Lazy.force probe_instances)
+
+(* Full-search differential: the MILP yield search must return the same
+   yield whether its LPs run on the revised solver or the dense oracle. *)
+
+let test_probe_sequence_vs_dense_oracle () =
+  if not (dense_env_on ()) then
+    List.iter
+      (fun (seed, instance) ->
+        let ctx = Printf.sprintf "probe-vs-dense seed=%d" seed in
+        let revised = Heuristics.Milp.relaxed_yield_search instance in
+        let dense =
+          with_dense_env (fun () ->
+              Heuristics.Milp.relaxed_yield_search instance)
+        in
+        match (revised, dense) with
+        | Some (_, yr), Some (_, yd) ->
+            Alcotest.(check bool)
+              (ctx ^ ": revised and dense yields agree")
+              true
+              (Float.abs (yr -. yd)
+               <= 2. *. Heuristics.Binary_search.default_tolerance)
+        | None, None -> ()
+        | _ -> Alcotest.fail (ctx ^ ": verdicts differ across solvers"))
+      (Lazy.force probe_instances)
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("generator determinism", test_generator_deterministic);
+      ("feasible family agrees", test_family_optimal Lp_gen.Feasible);
+      ("degenerate family agrees", test_family_optimal Lp_gen.Degenerate);
+      ("infeasible family agrees", test_family_infeasible);
+      ("unbounded family agrees", test_family_unbounded);
+      ("warm re-solve agrees", test_warm_resolve_agrees);
+      ("pivot regression bound", test_pivot_regression_bound);
+      ("dense escape hatch", test_dense_escape_hatch);
+      ("probe sequence warm vs cold", test_probe_sequence_warm_vs_cold);
+      ("probed rounding deterministic", test_probed_rounding_deterministic);
+      ("probe sequence vs dense oracle", test_probe_sequence_vs_dense_oracle);
+    ]
