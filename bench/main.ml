@@ -76,6 +76,23 @@ type sim_shard_run = {
 
 let sim_shard_runs : sim_shard_run list ref = ref []
 
+(* Placement-policy comparison (full re-solve vs incremental probe
+   placement + local repair) recorded by the online section. Everything
+   but the wall time is deterministic. *)
+type online_run = {
+  o_policy : string;
+  o_hosts : int;
+  o_events : int;  (* arrivals + departures *)
+  o_bins_touched : int;
+  o_repairs : int;
+  o_fallbacks : int;
+  o_admitted : int;
+  o_mean_yield : float;
+  o_seconds : float;
+}
+
+let online_runs : online_run list ref = ref []
+
 (* Kernel vs naive probe-path comparisons (probe-shared packing kernel,
    DESIGN.md §11) recorded by the kernel section. *)
 type kernel_run = {
@@ -267,7 +284,24 @@ let write_bench_par_json ~scale_label ~total path =
         (if i < List.length sr - 1 then "," else ""))
     sr;
   out "    ]\n";
-  out "  }\n";
+  out "  },\n";
+  out "  \"online\": [\n";
+  let ors = List.rev !online_runs in
+  List.iteri
+    (fun i o ->
+      out
+        "    {\"policy\": \"%s\", \"hosts\": %d, \"events\": %d, \
+         \"bins_touched\": %d, \"bins_per_event\": %.2f, \"repairs\": %d, \
+         \"fallbacks\": %d, \"admitted\": %d, \"mean_min_yield\": %.4f, \
+         \"seconds\": %.3f}%s\n"
+        (json_escape o.o_policy) o.o_hosts o.o_events o.o_bins_touched
+        (if o.o_events > 0 then
+           float_of_int o.o_bins_touched /. float_of_int o.o_events
+         else 0.)
+        o.o_repairs o.o_fallbacks o.o_admitted o.o_mean_yield o.o_seconds
+        (if i < List.length ors - 1 then "," else ""))
+    ors;
+  out "  ]\n";
   out "}\n";
   close_out oc;
   Printf.eprintf "[bench] wrote %s\n%!" path
@@ -783,6 +817,46 @@ let run_fig_families scale =
 
 (* Online-hosting extension: fixed vs adaptive mitigation thresholds in the
    deployment loop the paper's conclusion sketches. *)
+(* One placement-policy arm: run the engine with metrics on, read the
+   simulator.* counters, and record an [online_run]. Shared with the
+   backfill fallback. *)
+let online_policy_measure ~hosts ~config placement =
+  let platform =
+    Array.init hosts (fun id ->
+        if id < hosts / 2 then
+          Model.Node.make_cores ~id ~cores:4 ~cpu:0.4 ~mem:0.4
+        else Model.Node.make_cores ~id ~cores:4 ~cpu:0.8 ~mem:0.8)
+  in
+  let config = { config with Simulator.Engine.placement } in
+  let was_enabled = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled false;
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  let t0 = Unix.gettimeofday () in
+  let stats =
+    Simulator.Engine.run ~rng:(Prng.Rng.create ~seed:11) config ~platform
+  in
+  let o_seconds = Unix.gettimeofday () -. t0 in
+  Obs.Metrics.set_enabled false;
+  let snap = Obs.Metrics.snapshot () in
+  Obs.Metrics.set_enabled was_enabled;
+  let counter = Obs.Metrics.Snapshot.counter_value snap in
+  let run =
+    {
+      o_policy = Simulator.Policy.to_string placement;
+      o_hosts = hosts;
+      o_events = stats.arrivals + stats.departures;
+      o_bins_touched = counter "simulator.bins_touched";
+      o_repairs = counter "simulator.repairs";
+      o_fallbacks = counter "simulator.repair_fallbacks";
+      o_admitted = stats.admitted;
+      o_mean_yield = stats.mean_min_yield;
+      o_seconds;
+    }
+  in
+  online_runs := run :: !online_runs;
+  run
+
 let run_online () =
   section_header "Online hosting (extension; paper §8)";
   let platform =
@@ -831,7 +905,61 @@ let run_online () =
   Stats.Table.print table;
   print_endline
     "Expected shape: no mitigation suffers under error; the adaptive\n\
-     controller approaches the best fixed threshold without tuning."
+     controller approaches the best fixed threshold without tuning.";
+  (* Placement policies at 10x the Table-1 platform scale: the probe
+     policies should touch at least 5x fewer bins per event than the full
+     re-solve path (its admission scan alone walks every node per
+     arrival). The epoch/fallback re-solver is the cheap single-pass
+     greedy so the resolve arm's wall time stays bounded. *)
+  print_newline ();
+  print_endline "Placement policies (100 hosts, 10x Table-1 scale):";
+  let policy_config =
+    {
+      Simulator.Engine.default_config with
+      horizon = 120.;
+      arrival_rate = 8.;
+      mean_lifetime = 30.;
+      reallocation_period = 10.;
+      max_error = 0.08;
+      memory_scale = 0.5;
+      algorithm = Heuristics.Algorithms.single_greedy Heuristics.Greedy.S7
+          Heuristics.Greedy.P4;
+    }
+  in
+  let ptable =
+    Stats.Table.create
+      ~headers:
+        [ "policy"; "admitted"; "mean min yield"; "bins/event"; "repairs";
+          "fallbacks" ]
+  in
+  let resolve_bpe = ref 0. in
+  List.iter
+    (fun placement ->
+      let r = online_policy_measure ~hosts:100 ~config:policy_config placement in
+      let bpe =
+        if r.o_events > 0 then
+          float_of_int r.o_bins_touched /. float_of_int r.o_events
+        else 0.
+      in
+      if placement = Simulator.Policy.Resolve then resolve_bpe := bpe;
+      Stats.Table.add_row ptable
+        [
+          r.o_policy;
+          string_of_int r.o_admitted;
+          Printf.sprintf "%.4f" r.o_mean_yield;
+          Printf.sprintf "%.1f" bpe;
+          string_of_int r.o_repairs;
+          string_of_int r.o_fallbacks;
+        ];
+      Printf.eprintf "[bench] online policy %s: %.3fs\n%!" r.o_policy
+        r.o_seconds;
+      if placement <> Simulator.Policy.Resolve then
+        Printf.printf "%s touches >=5x fewer bins per event than resolve: %s\n"
+          r.o_policy
+          (if !resolve_bpe >= 5. *. bpe then "yes"
+           else "NO (incremental-path regression!)"))
+    Simulator.Policy.all;
+  Stats.Table.print ptable
 
 (* Online-simulator section: (1) arrival-path scaling — with a bounded
    steady-state active set, total cost must grow ~linearly in admitted
@@ -1146,6 +1274,25 @@ let backfill_bench_blocks () =
         { sh_shards = 2; sh_domains = 1; sh_seconds; sh_identical = true }
         :: !sim_shard_runs
     end
+  end;
+  if !online_runs = [] then begin
+    progress "backfill: online block (40 hosts, resolve vs greedy-random)";
+    let config =
+      {
+        Simulator.Engine.default_config with
+        horizon = 40.;
+        arrival_rate = 4.;
+        mean_lifetime = 20.;
+        reallocation_period = 10.;
+        memory_scale = 0.5;
+        algorithm =
+          Heuristics.Algorithms.single_greedy Heuristics.Greedy.S7
+            Heuristics.Greedy.P4;
+      }
+    in
+    ignore (online_policy_measure ~hosts:40 ~config Simulator.Policy.Resolve);
+    ignore
+      (online_policy_measure ~hosts:40 ~config Simulator.Policy.Greedy_random)
   end
 
 let all_sections =

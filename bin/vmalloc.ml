@@ -371,8 +371,37 @@ let simulate_cmd =
              ~doc:"Record shard/reallocation spans and write them to \
                    $(docv) in Chrome trace-event JSON.")
   in
+  let policy =
+    Arg.(value & opt string "resolve"
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Placement policy: 'resolve' re-solves each shard every \
+                   reallocation epoch; 'greedy-random' and 'best-fit' place \
+                   arrivals by probing candidate bins and repair locally on \
+                   departures, falling back to a full re-solve only on \
+                   drift.")
+  in
+  let repair_budget =
+    Arg.(value & opt int 8
+         & info [ "repair-budget" ] ~docv:"N"
+             ~doc:"Max services re-packed per departure-triggered repair \
+                   pass (probe policies only).")
+  in
+  let algo =
+    Arg.(value & opt string "metahvplight"
+         & info [ "algo" ] ~docv:"NAME"
+             ~doc:"Placement algorithm for epoch/fallback re-solves \
+                   ('greedy' is the cheap single-pass choice for large \
+                   runs).")
+  in
+  let partition =
+    Arg.(value & opt string "contiguous"
+         & info [ "partition" ] ~docv:"P"
+             ~doc:"Node partition across shards: 'contiguous' index \
+                   ranges, or 'capacity' for the LPT capacity-balanced \
+                   assignment.")
+  in
   let run horizon arrival_rate mean_lifetime period max_error threshold hosts
-      seed shards domains stats trace =
+      seed shards domains stats trace policy repair_budget algo partition =
     let threshold_mode =
       if String.lowercase_ascii threshold = "adaptive" then
         Ok (Simulator.Engine.Adaptive
@@ -382,9 +411,46 @@ let simulate_cmd =
         | Some t when t >= 0. -> Ok (Simulator.Engine.Fixed t)
         | _ -> Error ("bad threshold: " ^ threshold)
     in
-    match (threshold_mode, check_domains domains) with
-    | Error e, _ | _, Error e -> `Error (false, e)
-    | Ok threshold, Ok domains -> (
+    let placement_mode =
+      match Simulator.Policy.of_string policy with
+      | Some p -> Ok p
+      | None ->
+          Error
+            (Printf.sprintf "bad policy: %s (expected %s)" policy
+               (String.concat " | " Simulator.Policy.valid_names))
+    in
+    let algorithm_mode =
+      match Heuristics.Algorithms.by_name ~seed algo with
+      | Some a -> Ok a
+      | None ->
+          Error
+            (Printf.sprintf "bad algorithm: %s (expected %s)" algo
+               (String.concat " | " Heuristics.Algorithms.valid_names))
+    in
+    let partition_mode =
+      match String.lowercase_ascii partition with
+      | "contiguous" -> Ok Simulator.Sharded.Contiguous
+      | "capacity" | "capacity-balanced" ->
+          Ok Simulator.Sharded.Capacity_balanced
+      | _ ->
+          Error
+            (Printf.sprintf
+               "bad partition: %s (expected contiguous | capacity)" partition)
+    in
+    match
+      ( threshold_mode,
+        check_domains domains,
+        placement_mode,
+        algorithm_mode,
+        partition_mode )
+    with
+    | Error e, _, _, _, _
+    | _, Error e, _, _, _
+    | _, _, Error e, _, _
+    | _, _, _, Error e, _
+    | _, _, _, _, Error e ->
+        `Error (false, e)
+    | Ok threshold, Ok domains, Ok placement, Ok algorithm, Ok partition -> (
         let platform =
           Array.init hosts (fun id ->
               if id < hosts / 2 then
@@ -401,6 +467,9 @@ let simulate_cmd =
             max_error;
             threshold;
             memory_scale = 0.5;
+            placement;
+            repair_budget;
+            algorithm;
           }
         in
         if stats then begin
@@ -411,12 +480,17 @@ let simulate_cmd =
         let simulate () =
           if domains > 1 && shards > 1 then
             Par.Pool.with_pool ~domains (fun pool ->
-                Simulator.Sharded.run ~pool ~seed ~shards config ~platform)
-          else Simulator.Sharded.run ~seed ~shards config ~platform
+                Simulator.Sharded.run ~pool ~seed ~shards ~partition config
+                  ~platform)
+          else Simulator.Sharded.run ~seed ~shards ~partition config ~platform
         in
         match simulate () with
         | { merged; _ } ->
             if shards > 1 then Printf.printf "shards: %d\n" shards;
+            if placement <> Simulator.Policy.Resolve then
+              Printf.printf "policy: %s (repair budget %d)\n"
+                (Simulator.Policy.to_string placement)
+                repair_budget;
             Printf.printf
               "horizon %.0f: %d arrivals (%d rejected), %d departures\n\
                %d reallocations (%d failed), %d migrations\n\
@@ -444,7 +518,8 @@ let simulate_cmd =
              --trace observe the run).")
     Term.(ret (const run $ horizon $ arrival_rate $ mean_lifetime $ period
                $ max_error $ threshold $ hosts $ seed $ shards $ domains
-               $ stats_term $ trace))
+               $ stats_term $ trace $ policy $ repair_budget $ algo
+               $ partition))
 
 (* theorem *)
 

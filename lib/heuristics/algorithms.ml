@@ -86,11 +86,15 @@ let majors ~seed =
 
 let valid_names =
   [ "rrnd"; "rrnz"; "rrnd-probed"; "rrnz-probed"; "metagreedy"; "metavp";
-    "metahvp"; "metahvplight"; "milp" ]
+    "metahvp"; "metahvplight"; "milp"; "greedy" ]
 
 let by_name ~seed name =
   match String.uppercase_ascii name with
   | "RRND" -> Some (rrnd ~seed)
+  (* The single best-performing greedy of the paper's §7 sweep — the cheap
+     per-epoch re-solver for large online runs, where the meta algorithms'
+     full sweep would dominate the event loop. *)
+  | "GREEDY" -> Some (single_greedy Greedy.S7 Greedy.P4)
   | "RRNZ" -> Some (rrnz ~seed)
   | "RRND-PROBED" -> Some (rrnd_probed ~seed)
   | "RRNZ-PROBED" -> Some (rrnz_probed ~seed)

@@ -56,5 +56,6 @@ val valid_names : string list
 
 val by_name : seed:int -> string -> t option
 (** Look up any registry algorithm by its name (case-insensitive); accepts
-    the five majors plus ["METAHVPLIGHT"] and ["MILP"] (see
-    {!valid_names}). *)
+    the five majors plus ["METAHVPLIGHT"], ["MILP"], and ["greedy"] — the
+    latter resolving to [single_greedy S7 P4], the cheap single-pass
+    solver for large online simulations (see {!valid_names}). *)

@@ -27,6 +27,9 @@ let is_empty t = t.length = 0
 
 let mem t ~uid = Hashtbl.mem t.index uid
 
+let find t ~uid =
+  Option.map (fun cell -> cell.value) (Hashtbl.find_opt t.index uid)
+
 let append t ~uid value =
   if Hashtbl.mem t.index uid then
     invalid_arg "Active_set.append: duplicate uid";
@@ -51,6 +54,13 @@ let remove t ~uid =
       Hashtbl.remove t.index uid;
       t.length <- t.length - 1;
       true
+
+let take t ~uid =
+  match find t ~uid with
+  | None -> None
+  | Some v ->
+      ignore (remove t ~uid);
+      Some v
 
 let iter t f =
   let rec go = function

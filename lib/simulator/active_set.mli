@@ -20,6 +20,9 @@ val is_empty : 'a t -> bool
 
 val mem : 'a t -> uid:int -> bool
 
+val find : 'a t -> uid:int -> 'a option
+(** The live value registered under this uid, when present. *)
+
 val append : 'a t -> uid:int -> 'a -> unit
 (** Add at the end of the iteration order. Raises [Invalid_argument] on a
     duplicate uid. *)
@@ -27,6 +30,9 @@ val append : 'a t -> uid:int -> 'a -> unit
 val remove : 'a t -> uid:int -> bool
 (** Unlink the entry with this uid, preserving the relative order of the
     rest; [false] when absent. *)
+
+val take : 'a t -> uid:int -> 'a option
+(** {!remove} that also returns the unlinked value ([None] when absent). *)
 
 val iter : 'a t -> ('a -> unit) -> unit
 (** In insertion order. *)

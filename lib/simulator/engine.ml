@@ -13,6 +13,9 @@ type config = {
   algorithm : Heuristics.Algorithms.t;
   per_core_need : float;
   memory_scale : float;
+  placement : Policy.t;
+  repair_budget : int;
+  yield_gap : float;
 }
 
 let default_config =
@@ -27,6 +30,9 @@ let default_config =
     algorithm = Heuristics.Algorithms.metahvplight;
     per_core_need = 0.1;
     memory_scale = 0.4;
+    placement = Policy.Resolve;
+    repair_budget = 8;
+    yield_gap = 0.15;
   }
 
 type stats = {
@@ -55,6 +61,8 @@ type live = {
 
 type event = Arrival | Departure of int (* uid *) | Reallocate
 
+type final_service = { f_uid : int; f_node : int; f_mem : float; f_cpu : float }
+
 (* Deterministic operation counters (Obs.Metrics never records wall-clock
    time; reallocation latency in wall-clock terms lives in the "reallocate"
    trace spans instead, with the deterministic work-size proxy — services
@@ -66,6 +74,9 @@ let c_departures = Obs.Metrics.counter "simulator.departures"
 let c_reallocations = Obs.Metrics.counter "simulator.reallocations"
 let c_migrations = Obs.Metrics.counter "simulator.migrations"
 let c_reeval_skips = Obs.Metrics.counter "simulator.reeval_skips"
+let c_repairs = Obs.Metrics.counter "simulator.repairs"
+let c_repair_fallbacks = Obs.Metrics.counter "simulator.repair_fallbacks"
+let c_bins_touched = Obs.Metrics.counter "simulator.bins_touched"
 let h_epoch_yield = Obs.Metrics.histogram "simulator.epoch_min_yield_permille"
 let h_realloc_services = Obs.Metrics.histogram "simulator.reallocation_services"
 
@@ -78,6 +89,9 @@ let validate config ~platform =
   if config.max_error < 0. then invalid_arg "Engine.run: max_error";
   if config.per_core_need <= 0. then invalid_arg "Engine.run: per_core_need";
   if config.memory_scale <= 0. then invalid_arg "Engine.run: memory_scale";
+  if config.repair_budget < 0 then invalid_arg "Engine.run: repair_budget";
+  if config.yield_gap < 0. || config.yield_gap >= 1. then
+    invalid_arg "Engine.run: yield_gap";
   (* The admission path and [service_of_live] assume the 2-D (CPU, memory)
      layout of [Model.Service.make_2d]; reject anything else up front
      rather than silently misreading a capacity component. *)
@@ -111,9 +125,19 @@ let build_instances ~platform ~threshold (actives : live array) =
     Model.Instance.v ~nodes:platform ~services:est_services,
     placement )
 
-let run ?rng config ~platform =
+let run ?rng ?(incremental = true) ?final config ~platform =
   validate config ~platform;
   let rng = match rng with Some r -> r | None -> Prng.Rng.create ~seed:0 in
+  let n_nodes = Array.length platform in
+  (* Incremental bin state, only for the probe-based placement policies.
+     The resolve path never consults it, keeping that path byte-identical
+     to the pre-policy engine (locked by the golden seed-0 tests). *)
+  let rstate =
+    match config.placement with
+    | Policy.Resolve -> None
+    | Policy.Greedy_random | Policy.Best_fit ->
+        Some (Repair.create ~platform ~yield_gap:config.yield_gap)
+  in
   let queue = Event_queue.create () in
   let actives : live Active_set.t = Active_set.create () in
   let next_uid = ref 0 in
@@ -187,11 +211,26 @@ let run ?rng config ~platform =
         && (!best < 0 || count.(h) < count.(!best))
       then best := h
     done;
+    Obs.Metrics.add c_bins_touched h_count;
     if !best >= 0 then begin
       l.node <- !best;
       true
     end
     else false
+  in
+  let entry_of_live (l : live) =
+    { Repair.uid = l.uid; mem = l.memory; cpu = l.est_cpu }
+  in
+  (* Resynchronize the incremental bin state from the live ground truth.
+     Because [Repair] always sums residents in ascending-uid order, this
+     produces bitwise the same loads the incremental updates maintained —
+     the invariant the differential tests exercise via [incremental:false],
+     which rebuilds before every decision. *)
+  let sync_repair r =
+    Repair.rebuild r
+      (Array.map
+         (fun (l : live) -> (l.node, entry_of_live l))
+         (Active_set.to_array actives))
   in
   let reallocate () =
     incr reallocations;
@@ -199,6 +238,7 @@ let run ?rng config ~platform =
     if not (Active_set.is_empty actives) then begin
       let n_live = Active_set.length actives in
       Obs.Metrics.observe h_realloc_services n_live;
+      Obs.Metrics.add c_bins_touched n_nodes;
       Obs.Trace.span "reallocate"
         ~args:[ ("services", string_of_int n_live) ]
       @@ fun () ->
@@ -233,6 +273,21 @@ let run ?rng config ~platform =
                   in
                   Sharing.Adaptive_threshold.observe controller ~estimated
                     ~actual)
+    end
+  in
+  (* Fallback arming: a full re-solve fires at most once per unhealthy
+     episode. When even the re-solve cannot restore health (the instance is
+     genuinely overloaded), the trigger disarms until health is next
+     observed, so a burst of events does not re-solve per event. *)
+  let fallback_armed = ref true in
+  let maybe_fallback r =
+    if Repair.healthy r then fallback_armed := true
+    else if !fallback_armed then begin
+      Obs.Metrics.incr c_repair_fallbacks;
+      reallocate ();
+      sync_repair r;
+      state_dirty := true;
+      fallback_armed := Repair.healthy r
     end
   in
   (* Seed the event queue. *)
@@ -286,33 +341,73 @@ let run ?rng config ~platform =
                 }
               in
               incr next_uid;
-              if admit l then begin
-                incr admitted;
-                Obs.Metrics.incr c_admitted;
-                Active_set.append actives ~uid:l.uid l;
-                state_dirty := true;
-                let lifetime =
-                  Prng.Rng.exponential rng ~rate:(1. /. config.mean_lifetime)
-                in
-                if time +. lifetime <= config.horizon then
-                  Event_queue.add queue ~time:(time +. lifetime)
-                    (Departure l.uid)
-                (* Services outliving the horizon simply never depart. *)
-              end
-              else begin
-                incr rejected;
-                Obs.Metrics.incr c_rejected
-              end;
+              let placed =
+                match rstate with
+                | None -> if admit l then Some l.node else None
+                | Some r ->
+                    if not incremental then sync_repair r;
+                    let chosen, touched =
+                      Repair.choose r config.placement ~rng ~mem:l.memory
+                    in
+                    Obs.Metrics.add c_bins_touched touched;
+                    chosen
+              in
+              (match placed with
+              | Some node ->
+                  l.node <- node;
+                  incr admitted;
+                  Obs.Metrics.incr c_admitted;
+                  Active_set.append actives ~uid:l.uid l;
+                  (match rstate with
+                  | None -> ()
+                  | Some r -> Repair.add r ~node (entry_of_live l));
+                  state_dirty := true;
+                  let lifetime =
+                    Prng.Rng.exponential rng
+                      ~rate:(1. /. config.mean_lifetime)
+                  in
+                  if time +. lifetime <= config.horizon then
+                    Event_queue.add queue ~time:(time +. lifetime)
+                      (Departure l.uid)
+                  (* Services outliving the horizon simply never depart. *)
+              | None ->
+                  incr rejected;
+                  Obs.Metrics.incr c_rejected);
               false
           | Departure uid ->
               incr departures;
               Obs.Metrics.incr c_departures;
-              ignore (Active_set.remove actives ~uid);
+              (match rstate with
+              | None -> ignore (Active_set.remove actives ~uid)
+              | Some r -> (
+                  match Active_set.take actives ~uid with
+                  | None -> ()
+                  | Some l ->
+                      if not incremental then sync_repair r;
+                      Repair.remove r ~node:l.node ~uid;
+                      let moved, touched =
+                        Repair.repair r ~target:l.node
+                          ~budget:config.repair_budget
+                          ~on_move:(fun ~uid ~node ->
+                            (match Active_set.find actives ~uid with
+                            | Some (m : live) -> m.node <- node
+                            | None -> ());
+                            incr migrations;
+                            Obs.Metrics.incr c_migrations)
+                      in
+                      Obs.Metrics.add c_bins_touched touched;
+                      if moved > 0 then Obs.Metrics.incr c_repairs;
+                      maybe_fallback r));
               state_dirty := true;
               false
           | Reallocate ->
-              reallocate ();
-              state_dirty := true;
+              (match rstate with
+              | None ->
+                  reallocate ();
+                  state_dirty := true
+              | Some r ->
+                  if not incremental then sync_repair r;
+                  maybe_fallback r);
               true
         in
         record ~epoch time;
@@ -320,6 +415,19 @@ let run ?rng config ~platform =
   in
   loop ();
   advance_to config.horizon;
+  (match final with
+  | None -> ()
+  | Some f ->
+      f
+        (List.map
+           (fun (l : live) ->
+             {
+               f_uid = l.uid;
+               f_node = l.node;
+               f_mem = l.memory;
+               f_cpu = l.est_cpu;
+             })
+           (Active_set.to_list actives)));
   {
     arrivals = !arrivals;
     admitted = !admitted;

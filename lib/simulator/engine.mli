@@ -32,12 +32,25 @@ type config = {
   algorithm : Heuristics.Algorithms.t;  (** placement algorithm *)
   per_core_need : float;  (** true per-core CPU need of arriving services *)
   memory_scale : float;  (** memory requirement = scale * trace fraction *)
+  placement : Policy.t;
+      (** how events are handled: [Resolve] re-solves the whole shard each
+          reallocation epoch (the original engine); the probe policies
+          place arrivals by probing candidate bins and repair locally on
+          departures, falling back to a full re-solve only on drift *)
+  repair_budget : int;
+      (** max services re-packed per departure-triggered repair pass
+          (probe policies only) *)
+  yield_gap : float;
+      (** drift tolerance in [0, 1): a bin whose CPU load exceeds
+          capacity / (1 - yield_gap) marks the placement unhealthy and
+          arms the full re-solve fallback (probe policies only) *)
 }
 
 val default_config : config
 (** METAHVPLIGHT, ALLOCWEIGHTS, fixed threshold 0, horizon 100, one arrival
     per time unit, mean lifetime 20, reallocation every 5, no error,
-    per-core need 0.1, memory scale 0.4. *)
+    per-core need 0.1, memory scale 0.4, resolve placement, repair budget
+    8, yield gap 0.15. *)
 
 type stats = {
   arrivals : int;
@@ -55,12 +68,38 @@ type stats = {
   final_threshold : float;
 }
 
-val run : ?rng:Prng.Rng.t -> config -> platform:Model.Node.t array -> stats
+type final_service = {
+  f_uid : int;
+  f_node : int;
+  f_mem : float;
+  f_cpu : float;  (** estimated aggregate CPU need *)
+}
+(** A service still live at the horizon, with its final host — the
+    end-of-run placement handed to the [?final] callback so tests can
+    check feasibility without re-deriving it from the yield log. *)
+
+val run :
+  ?rng:Prng.Rng.t ->
+  ?incremental:bool ->
+  ?final:(final_service list -> unit) ->
+  config ->
+  platform:Model.Node.t array ->
+  stats
 (** Simulate. Deterministic given the rng (default seed 0). Raises
-    [Invalid_argument] on non-positive horizon, rates, or periods, and on
-    any platform that is empty or not 2-D — the admission path reads the
+    [Invalid_argument] on non-positive horizon, rates, or periods, on a
+    negative repair budget or a yield gap outside [0, 1), and on any
+    platform that is empty or not 2-D — the admission path reads the
     memory capacity at {!Model.Service.mem_dim} and would silently
     misread any other dimension layout.
+
+    [incremental] (default [true]) only affects the probe placement
+    policies: [false] rebuilds the per-bin load state from the live
+    ground truth before {e every} decision instead of updating it in
+    place. Because the bin state always sums residents in a canonical
+    order, the two modes are bitwise-identical — [incremental:false] is
+    the slow reference the differential tests compare against, never a
+    mode to run for its own sake. [final] receives the services still
+    live at the horizon, in insertion order, just before [run] returns.
 
     The arrival/departure paths are O(log n) per event (priority-queue
     discipline plus an O(1) insertion-ordered active set); the minimum
@@ -68,6 +107,9 @@ val run : ?rng:Prng.Rng.t -> config -> platform:Model.Node.t array -> stats
     arrivals reuse the cached value, counted under the
     [simulator.reeval_skips] metric. With {!Obs.Metrics} enabled the
     engine also counts arrivals/admissions/rejections/departures/
-    reallocations/migrations and records per-epoch min-yield
+    reallocations/migrations, bins examined per decision
+    ([simulator.bins_touched]), repair passes that moved at least one
+    service ([simulator.repairs]) and drift-triggered full re-solves
+    ([simulator.repair_fallbacks]), and records per-epoch min-yield
     (permille) and services-per-reallocation histograms; with
     {!Obs.Trace} enabled each reallocation is a ["reallocate"] span. *)

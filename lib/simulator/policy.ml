@@ -1,0 +1,14 @@
+type t = Resolve | Greedy_random | Best_fit
+
+let to_string = function
+  | Resolve -> "resolve"
+  | Greedy_random -> "greedy-random"
+  | Best_fit -> "best-fit"
+
+let all = [ Resolve; Greedy_random; Best_fit ]
+
+let valid_names = List.map to_string all
+
+let of_string s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun p -> to_string p = s) all

@@ -1,0 +1,31 @@
+(** Online placement policies for the engine's arrival/departure path.
+
+    {!Resolve} is the original batch behaviour: arrivals are admitted by
+    the zero-knowledge memory spread and every reallocation epoch re-runs
+    the configured placement algorithm over the whole shard. The two
+    incremental policies replace that full solve with per-event decisions
+    that examine only a handful of candidate bins:
+
+    - {!Greedy_random} follows Stolyar's greedy-random online packing rule
+      (PAPERS.md, arxiv 1205.4271): probe bins uniformly at random and
+      take the first one whose memory fits, falling back to a first-fit
+      scan only when every probe misses.
+    - {!Best_fit} is the best-fit-by-remaining variant (in the spirit of
+      the occupied-resource minimization of Stolyar–Zhong,
+      arxiv 1212.0875): probe the same random candidates but keep the
+      feasible one with the least remaining memory after placement,
+      falling back to a full best-fit scan when every probe misses. *)
+
+type t = Resolve | Greedy_random | Best_fit
+
+val all : t list
+(** Every policy, in declaration order. *)
+
+val to_string : t -> string
+(** CLI spellings: ["resolve"], ["greedy-random"], ["best-fit"]. *)
+
+val of_string : string -> t option
+(** Case-insensitive inverse of {!to_string}. *)
+
+val valid_names : string list
+(** The accepted spellings, in declaration order — for error messages. *)

@@ -1,6 +1,9 @@
+type partition_policy = Contiguous | Capacity_balanced
+
 type result = {
   merged : Engine.stats;
   per_shard : Engine.stats array;
+  finals : Engine.final_service list array;
 }
 
 (* Same recipe as Experiments.Corpus.seed_of_spec: a stable Hashtbl.hash of
@@ -13,16 +16,63 @@ let shard_rng ~seed ~shard ~shards =
   if shards = 1 then Prng.Rng.create ~seed
   else Prng.Rng.create ~seed:(shard_seed ~seed ~shard ~shards)
 
-let partition ~shards platform =
+(* Scalar size of a node for balancing: the sum of its aggregate capacity
+   components. Any fixed positive weighting would do — the partition only
+   has to be deterministic and roughly even. *)
+let node_capacity (n : Model.Node.t) =
+  let agg = n.Model.Node.capacity.Vec.Epair.aggregate in
+  let s = ref 0. in
+  for d = 0 to Model.Node.dim n - 1 do
+    s := !s +. Vec.Vector.get agg d
+  done;
+  !s
+
+(* Node ids must be dense per instance (Instance.v), so re-id within the
+   shard; capacities are shared immutably. Members are kept in ascending
+   platform order inside each shard, which makes the one-shard
+   capacity-balanced partition byte-identical to the contiguous one. *)
+let reid platform members =
+  Array.mapi
+    (fun i p -> Model.Node.v ~id:i ~capacity:platform.(p).Model.Node.capacity)
+    members
+
+let split ~policy ~shards platform =
   let h = Array.length platform in
   if shards < 1 then invalid_arg "Sharded.run: shards must be positive";
   if shards > h then invalid_arg "Sharded.run: more shards than nodes";
-  Array.init shards (fun s ->
-      let lo = s * h / shards and hi = (s + 1) * h / shards in
-      (* Node ids must be dense per instance (Instance.v), so re-id within
-         the shard; capacities are shared immutably. *)
-      Array.init (hi - lo) (fun i ->
-          Model.Node.v ~id:i ~capacity:platform.(lo + i).Model.Node.capacity))
+  match policy with
+  | Contiguous ->
+      Array.init shards (fun s ->
+          let lo = s * h / shards and hi = (s + 1) * h / shards in
+          reid platform (Array.init (hi - lo) (fun i -> lo + i)))
+  | Capacity_balanced ->
+      (* LPT greedy: nodes by descending capacity (ties by index), each to
+         the currently least-loaded shard (ties by lowest shard index).
+         Classic list-scheduling bound: max and min shard capacity differ
+         by at most one node's capacity. *)
+      let cap = Array.map node_capacity platform in
+      let order = Array.init h (fun i -> i) in
+      Array.sort
+        (fun a b ->
+          match compare cap.(b) cap.(a) with 0 -> compare a b | c -> c)
+        order;
+      let totals = Array.make shards 0. in
+      let members = Array.make shards [] in
+      Array.iter
+        (fun i ->
+          let best = ref 0 in
+          for s = 1 to shards - 1 do
+            if totals.(s) < totals.(!best) then best := s
+          done;
+          totals.(!best) <- totals.(!best) +. cap.(i);
+          members.(!best) <- i :: members.(!best))
+        order;
+      Array.map
+        (fun lst -> reid platform (Array.of_list (List.sort compare lst)))
+        members
+
+let partition ?(policy = Contiguous) ~shards platform =
+  split ~policy ~shards platform
 
 (* Each shard owns every piece of mutable state it touches: its RNG stream,
    its node sub-array (fresh ids), and — for the adaptive mode — a fresh
@@ -107,18 +157,34 @@ let merge ~horizon (per_shard : Engine.stats array) =
         per_shard.(0).Engine.final_threshold per_shard;
   }
 
-let run ?pool ?(seed = 0) ~shards config ~platform =
-  let parts = partition ~shards platform in
+let run ?pool ?(seed = 0) ?(partition = Contiguous) ?(incremental = true)
+    ~shards config ~platform =
+  let parts = split ~policy:partition ~shards platform in
   let indices = Array.init shards (fun s -> s) in
+  (* Every shard's stream is derived up front, in shard order, outside the
+     pool tasks — stream identity is a pure function of (seed, shard,
+     shards), so hoisting changes no stream, but it keeps RNG construction
+     out of the per-shard event loop and off the worker domains. *)
+  let rngs = Array.init shards (fun s -> shard_rng ~seed ~shard:s ~shards) in
   let run_one s =
     Obs.Trace.span "shard" ~args:[ ("shard", string_of_int s) ] @@ fun () ->
-    Engine.run
-      ~rng:(shard_rng ~seed ~shard:s ~shards)
-      (shard_config config) ~platform:parts.(s)
+    let finals = ref [] in
+    let stats =
+      Engine.run ~rng:rngs.(s) ~incremental
+        ~final:(fun fs -> finals := fs)
+        (shard_config config) ~platform:parts.(s)
+    in
+    (stats, !finals)
   in
-  let per_shard =
+  let results =
     match pool with
     | Some pool when shards > 1 -> Par.Pool.map pool indices run_one
     | _ -> Array.map run_one indices
   in
-  { merged = merge ~horizon:config.Engine.horizon per_shard; per_shard }
+  let per_shard = Array.map fst results in
+  let finals = Array.map snd results in
+  {
+    merged = merge ~horizon:config.Engine.horizon per_shard;
+    per_shard;
+    finals;
+  }

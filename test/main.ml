@@ -25,5 +25,6 @@ let () =
       ("obs", Test_obs.suite);
       ("simulator", Test_simulator.suite);
       ("sharded", Test_sharded.suite);
+      ("repair-diff", Test_repair_diff.suite);
       ("core-facade", Test_core.suite);
     ]

@@ -191,6 +191,204 @@ let test_adaptive_sharded_runs () =
         (r.merged.final_threshold >= s.final_threshold))
     r.per_shard
 
+(* --- capacity-balanced partition (QCheck properties) --- *)
+
+let scalar_cap (n : Model.Node.t) =
+  let agg = n.Model.Node.capacity.Vec.Epair.aggregate in
+  Vec.Vector.get agg 0 +. Vec.Vector.get agg 1
+
+(* Random two-resource platforms: 1-16 nodes with capacities on a 0.1
+   grid, and a legal shard count. *)
+let platform_gen =
+  QCheck2.Gen.(
+    let* h = int_range 1 16 in
+    let* shards = int_range 1 h in
+    let tenth = map (fun i -> 0.1 *. float_of_int i) (int_range 1 10) in
+    let* caps = list_size (pure h) (pair tenth tenth) in
+    pure (shards, Array.of_list caps))
+
+let make_platform caps =
+  Array.mapi
+    (fun id (cpu, mem) -> Model.Node.make_cores ~id ~cores:4 ~cpu ~mem)
+    caps
+
+let prop_balanced_partition_covers =
+  QCheck2.Test.make ~name:"capacity-balanced partition assigns each node once"
+    ~count:200 platform_gen
+    (fun (shards, caps) ->
+      let platform = make_platform caps in
+      let parts =
+        Simulator.Sharded.partition ~policy:Simulator.Sharded.Capacity_balanced
+          ~shards platform
+      in
+      (* Dense per-shard ids, and the multiset of capacities is exactly the
+         platform's (nodes of equal capacity are interchangeable). *)
+      Array.for_all
+        (fun part ->
+          Array.for_all (fun (n : Model.Node.t) -> n.id >= 0) part
+          && Array.length part > 0)
+        parts
+      &&
+      let assigned =
+        Array.concat (Array.to_list parts) |> Array.map scalar_cap
+      in
+      let expected = Array.map scalar_cap platform in
+      Array.sort compare assigned;
+      Array.sort compare expected;
+      assigned = expected)
+
+let prop_balanced_partition_bound =
+  QCheck2.Test.make
+    ~name:"capacity-balanced shard totals within one node of each other"
+    ~count:200 platform_gen
+    (fun (shards, caps) ->
+      let platform = make_platform caps in
+      let parts =
+        Simulator.Sharded.partition ~policy:Simulator.Sharded.Capacity_balanced
+          ~shards platform
+      in
+      let totals =
+        Array.map
+          (fun part -> Array.fold_left (fun a n -> a +. scalar_cap n) 0. part)
+          parts
+      in
+      let max_total = Array.fold_left Float.max totals.(0) totals in
+      let min_total = Array.fold_left Float.min totals.(0) totals in
+      let max_node =
+        Array.fold_left (fun a n -> Float.max a (scalar_cap n)) 0. platform
+      in
+      (* The LPT list-scheduling bound. *)
+      max_total -. min_total <= max_node +. 1e-9)
+
+let prop_balanced_single_shard_is_contiguous =
+  QCheck2.Test.make
+    ~name:"one capacity-balanced shard = the contiguous partition"
+    ~count:100 platform_gen
+    (fun (_, caps) ->
+      let platform = make_platform caps in
+      let balanced =
+        Simulator.Sharded.partition ~policy:Simulator.Sharded.Capacity_balanced
+          ~shards:1 platform
+      in
+      let contiguous = Simulator.Sharded.partition ~shards:1 platform in
+      Array.length balanced.(0) = Array.length contiguous.(0)
+      && Array.for_all2
+           (fun (a : Model.Node.t) (b : Model.Node.t) ->
+             a.id = b.id && Vec.Epair.equal a.capacity b.capacity)
+           balanced.(0) contiguous.(0))
+
+(* --- RNG stream assignment (locked after hoisting stream setup out of
+   the dispatch loop): shard s of a k-shard run replays exactly
+   Engine.run with the pre-split seed on its sub-platform, and one shard
+   keeps the engine's plain stream. --- *)
+let test_stream_assignment_unchanged () =
+  let seed = 21 in
+  let shards = 3 in
+  let r = Simulator.Sharded.run ~seed ~shards config ~platform in
+  let parts = Simulator.Sharded.partition ~shards platform in
+  Array.iteri
+    (fun s part ->
+      let direct =
+        Simulator.Engine.run
+          ~rng:
+            (Prng.Rng.create
+               ~seed:(Simulator.Sharded.shard_seed ~seed ~shard:s ~shards))
+          config ~platform:part
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d replays its pre-split stream" s)
+        true
+        (stats_equal direct r.per_shard.(s)))
+    parts;
+  let one = Simulator.Sharded.run ~seed ~shards:1 config ~platform in
+  let direct =
+    Simulator.Engine.run ~rng:(Prng.Rng.create ~seed) config ~platform
+  in
+  Alcotest.(check bool) "one shard keeps the plain engine stream" true
+    (stats_equal direct one.per_shard.(0))
+
+(* --- golden seed-0 pins for the incremental placement policies ---
+
+   Merged counts, the yield-log digest, and the simulator.* counters of a
+   4-shard run are pinned at domain counts 1, 2, and 4. Only simulator.*
+   counters are pinned: they are invariant across the CI matrix legs
+   (VMALLOC_NO_PROBE_CACHE / VMALLOC_DENSE_LP perturb solver-internal
+   counters, never the event loop's). *)
+let samples_digest samples =
+  List.fold_left
+    (fun acc (t, y) ->
+      let mix acc v =
+        Int64.add (Int64.mul acc 1000003L) (Int64.bits_of_float v)
+      in
+      mix (mix acc t) y)
+    0L samples
+
+let policy_config placement =
+  {
+    config with
+    Simulator.Engine.placement;
+    algorithm =
+      Heuristics.Algorithms.single_greedy Heuristics.Greedy.S7
+        Heuristics.Greedy.P4;
+  }
+
+let run_policy_golden placement domains =
+  let was_enabled = Obs.Metrics.enabled () in
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ();
+      Obs.Metrics.set_enabled was_enabled)
+  @@ fun () ->
+  Obs.Metrics.set_enabled false;
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  let r =
+    if domains = 1 then
+      Simulator.Sharded.run ~seed:0 ~shards:4 (policy_config placement)
+        ~platform
+    else
+      Par.Pool.with_pool ~domains (fun pool ->
+          Simulator.Sharded.run ~pool ~seed:0 ~shards:4
+            (policy_config placement) ~platform)
+  in
+  Obs.Metrics.set_enabled false;
+  (r, Obs.Metrics.snapshot ())
+
+let check_policy_golden placement ~arrivals ~admitted ~rejected ~departures
+    ~migrations ~digest ~repairs ~fallbacks ~bins_touched () =
+  let name = Simulator.Policy.to_string placement in
+  List.iter
+    (fun domains ->
+      let r, snap = run_policy_golden placement domains in
+      let m = r.Simulator.Sharded.merged in
+      let tag fmt = Printf.sprintf "%s @%dd: %s" name domains fmt in
+      Alcotest.(check int) (tag "arrivals") arrivals m.arrivals;
+      Alcotest.(check int) (tag "admitted") admitted m.admitted;
+      Alcotest.(check int) (tag "rejected") rejected m.rejected;
+      Alcotest.(check int) (tag "departures") departures m.departures;
+      Alcotest.(check int) (tag "migrations") migrations m.migrations;
+      Alcotest.(check int64) (tag "yield-log digest") digest
+        (samples_digest m.yield_samples);
+      let counter = Obs.Metrics.Snapshot.counter_value snap in
+      Alcotest.(check int) (tag "repairs") repairs
+        (counter "simulator.repairs");
+      Alcotest.(check int) (tag "fallbacks") fallbacks
+        (counter "simulator.repair_fallbacks");
+      Alcotest.(check int) (tag "bins touched") bins_touched
+        (counter "simulator.bins_touched"))
+    [ 1; 2; 4 ]
+
+let test_golden_greedy_random =
+  check_policy_golden Simulator.Policy.Greedy_random ~arrivals:237
+    ~admitted:236 ~rejected:1 ~departures:182 ~migrations:88
+    ~digest:7255892090174631288L ~repairs:19 ~fallbacks:9 ~bins_touched:552
+
+let test_golden_best_fit =
+  check_policy_golden Simulator.Policy.Best_fit ~arrivals:245 ~admitted:241
+    ~rejected:4 ~departures:180 ~migrations:80
+    ~digest:(-5229114624798978534L) ~repairs:16 ~fallbacks:9
+    ~bins_touched:796
+
 let suite =
   List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
@@ -202,4 +400,13 @@ let suite =
       ("domain-count invariance", test_domain_count_invariance);
       ("metrics domain invariance", test_metrics_domain_invariance);
       ("adaptive sharded runs", test_adaptive_sharded_runs);
+      ("stream assignment unchanged", test_stream_assignment_unchanged);
+      ("golden seed-0 greedy-random", test_golden_greedy_random);
+      ("golden seed-0 best-fit", test_golden_best_fit);
     ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_balanced_partition_covers;
+        prop_balanced_partition_bound;
+        prop_balanced_single_shard_is_contiguous;
+      ]
