@@ -154,6 +154,69 @@ let stats_term =
 let print_stats () =
   print_string (Obs.Metrics.Snapshot.render (Obs.Metrics.snapshot ()))
 
+(* ---- Output sinks ---------------------------------------------------- *)
+
+(* Every file-producing option (--trace, --trace-folded, --timeline,
+   --timeline-prom, --stats-out) goes through one registry: the path is
+   validated writable up front — a typo'd directory is a one-line usage
+   error before the run, not a lost trace after it — and the content is
+   flushed by an at_exit hook, so even a run that dies mid-way leaves
+   whatever was captured on disk. Each sink is written exactly once
+   (commands flush explicitly on the normal path; at_exit is the safety
+   net). *)
+let sinks : (string * (unit -> string) * bool ref) list ref = ref []
+let sinks_hooked = ref false
+
+let flush_sinks () =
+  List.iter
+    (fun (path, render, written) ->
+      if not !written then begin
+        written := true;
+        try
+          let oc = open_out path in
+          output_string oc (render ());
+          close_out oc
+        with Sys_error _ -> ()
+      end)
+    (List.rev !sinks)
+
+let register_sink path render =
+  match open_out path with
+  | exception Sys_error e -> Error e
+  | oc ->
+      close_out oc;
+      if not !sinks_hooked then begin
+        sinks_hooked := true;
+        at_exit flush_sinks
+      end;
+      sinks := (path, render, ref false) :: !sinks;
+      Ok ()
+
+(* [register_sinks [(path_opt, render); ...]] registers the present ones
+   left to right, stopping at the first unwritable path. *)
+let register_sinks specs =
+  List.fold_left
+    (fun acc (path, render) ->
+      match (acc, path) with
+      | Error _, _ | _, None -> acc
+      | Ok (), Some path -> register_sink path render)
+    (Ok ()) specs
+
+let stats_out_term =
+  Arg.(value & opt (some string) None
+       & info [ "stats-out" ] ~docv:"FILE"
+           ~doc:"Write the merged counter/histogram snapshot as JSON to \
+                 $(docv) when the run ends (implies counter collection, \
+                 with or without --stats).")
+
+let trace_folded_term =
+  Arg.(value & opt (some string) None
+       & info [ "trace-folded" ] ~docv:"FILE"
+           ~doc:"Fold the span trace into collapsed stacks — one \
+                 $(b,root;child;leaf self-microseconds) line per distinct \
+                 stack, the format flamegraph.pl and speedscope consume — \
+                 and write them to $(docv).")
+
 let solve_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ]
@@ -174,7 +237,8 @@ let solve_cmd =
                    $(docv) in Chrome trace-event JSON (open in \
                    chrome://tracing or Perfetto).")
   in
-  let run file opts algo_name verbose domains stats trace =
+  let run file opts algo_name verbose domains stats trace trace_folded
+      stats_out =
     match load_or_generate file opts with
     | Error e -> `Error (false, e)
     | Ok inst -> (
@@ -183,51 +247,75 @@ let solve_cmd =
         | Some algo -> (
             match check_domains domains with
             | Error e -> `Error (false, e)
-            | Ok domains ->
-                if stats then begin
-                  Obs.Metrics.reset ();
-                  Obs.Metrics.set_enabled true
-                end;
-                if trace <> None then Obs.Trace.start ();
-                let solve () =
-                  if domains > 1 then
-                    Par.Pool.with_pool ~domains (fun pool ->
-                        algo.solve ~pool inst)
-                  else algo.solve inst
-                in
-                let t0 = Sys.time () in
-                let result = solve () in
-                let dt = Sys.time () -. t0 in
-                (match result with
-                | None ->
-                    Printf.printf "%s: no feasible placement (%.3fs)\n"
-                      algo.name dt
-                | Some sol ->
-                    Printf.printf "%s: minimum yield %.4f (%.3fs)\n" algo.name
-                      sol.min_yield dt;
-                    if verbose then begin
-                      match Model.Placement.water_fill inst sol.placement with
-                      | None -> ()
-                      | Some alloc ->
-                          print_string (Model.Report.render inst alloc)
-                    end);
-                if stats then print_stats ();
-                (match trace with
-                | None -> ()
-                | Some path ->
-                    Obs.Trace.stop ();
-                    Obs.Trace.write path;
-                    Printf.eprintf "wrote trace %s (%d events)\n%!" path
-                      (Obs.Trace.event_count ()));
-                `Ok ()))
+            | Ok domains -> (
+                match
+                  register_sinks
+                    [
+                      (trace, fun () -> Obs.Trace.to_json ());
+                      (trace_folded, fun () -> Obs.Trace.to_folded ());
+                      ( stats_out,
+                        fun () ->
+                          Obs.Metrics.Snapshot.to_json
+                            (Obs.Metrics.snapshot ()) );
+                    ]
+                with
+                | Error e -> `Error (false, e)
+                | Ok () ->
+                    if stats || stats_out <> None then begin
+                      Obs.Metrics.reset ();
+                      Obs.Metrics.set_enabled true
+                    end;
+                    let tracing = trace <> None || trace_folded <> None in
+                    if tracing then Obs.Trace.start ();
+                    let solve () =
+                      if domains > 1 then
+                        Par.Pool.with_pool ~domains (fun pool ->
+                            algo.solve ~pool inst)
+                      else algo.solve inst
+                    in
+                    let t0 = Sys.time () in
+                    let result = solve () in
+                    let dt = Sys.time () -. t0 in
+                    (match result with
+                    | None ->
+                        Printf.printf "%s: no feasible placement (%.3fs)\n"
+                          algo.name dt
+                    | Some sol ->
+                        Printf.printf "%s: minimum yield %.4f (%.3fs)\n"
+                          algo.name sol.min_yield dt;
+                        if verbose then begin
+                          match
+                            Model.Placement.water_fill inst sol.placement
+                          with
+                          | None -> ()
+                          | Some alloc ->
+                              print_string (Model.Report.render inst alloc)
+                        end);
+                    if stats then print_stats ();
+                    if tracing then Obs.Trace.stop ();
+                    flush_sinks ();
+                    Option.iter
+                      (fun path ->
+                        Printf.eprintf "wrote trace %s (%d events)\n%!" path
+                          (Obs.Trace.event_count ()))
+                      trace;
+                    Option.iter
+                      (fun path ->
+                        Printf.eprintf "wrote folded stacks %s\n%!" path)
+                      trace_folded;
+                    Option.iter
+                      (fun path -> Printf.eprintf "wrote stats %s\n%!" path)
+                      stats_out;
+                    `Ok ())))
   in
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Place services with one algorithm (--domains > 1 runs the \
-             yield search's probes in parallel; --stats / --trace observe \
-             the run).")
+             yield search's probes in parallel; --stats / --stats-out / \
+             --trace / --trace-folded observe the run).")
     Term.(ret (const run $ instance_file_term $ gen_opts_term $ algo_term
-               $ verbose $ domains $ stats_term $ trace))
+               $ verbose $ domains $ stats_term $ trace $ trace_folded_term
+               $ stats_out_term))
 
 (* compare *)
 
@@ -239,14 +327,25 @@ let domains_term =
                  recommended domain count; 1 = sequential).")
 
 let compare_cmd =
-  let run file opts domains stats =
+  let run file opts domains stats stats_out =
     match load_or_generate file opts with
     | Error e -> `Error (false, e)
     | Ok inst -> (
         match check_domains domains with
         | Error e -> `Error (false, e)
-        | Ok domains ->
-            if stats then begin
+        | Ok domains -> (
+            match
+              register_sinks
+                [
+                  ( stats_out,
+                    fun () ->
+                      Obs.Metrics.Snapshot.to_json (Obs.Metrics.snapshot ())
+                  );
+                ]
+            with
+            | Error e -> `Error (false, e)
+            | Ok () ->
+            if stats || stats_out <> None then begin
               Obs.Metrics.reset ();
               Obs.Metrics.set_enabled true
             end;
@@ -277,15 +376,19 @@ let compare_cmd =
             Array.iter (Stats.Table.add_row table) rows;
             Stats.Table.print table;
             if stats then print_stats ();
-            `Ok ())
+            flush_sinks ();
+            Option.iter
+              (fun path -> Printf.eprintf "wrote stats %s\n%!" path)
+              stats_out;
+            `Ok ()))
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Run the paper's major algorithms on one instance (in parallel \
              with --domains > 1; --stats prints the merged operation \
-             counters).")
+             counters, --stats-out writes them as JSON).")
     Term.(ret (const run $ instance_file_term $ gen_opts_term $ domains_term
-               $ stats_term))
+               $ stats_term $ stats_out_term))
 
 (* inspect *)
 
@@ -400,8 +503,29 @@ let simulate_cmd =
                    ranges, or 'capacity' for the LPT capacity-balanced \
                    assignment.")
   in
+  let timeline =
+    Arg.(value & opt (some string) None
+         & info [ "timeline" ] ~docv:"FILE"
+             ~doc:"Sample sim-clock gauges (global yield, active services, \
+                   shard imbalance, repair/bins/pivot rates) on a fixed \
+                   virtual-time grid and write them to $(docv) as JSONL. \
+                   Byte-identical at any --domains value.")
+  in
+  let timeline_prom =
+    Arg.(value & opt (some string) None
+         & info [ "timeline-prom" ] ~docv:"FILE"
+             ~doc:"Like --timeline, in the Prometheus text exposition \
+                   format (sim time as the sample timestamp).")
+  in
+  let timeline_interval =
+    Arg.(value & opt float 5.
+         & info [ "timeline-interval" ] ~docv:"DT"
+             ~doc:"Virtual-time sampling interval for --timeline / \
+                   --timeline-prom.")
+  in
   let run horizon arrival_rate mean_lifetime period max_error threshold hosts
-      seed shards domains stats trace policy repair_budget algo partition =
+      seed shards domains stats trace policy repair_budget algo partition
+      trace_folded stats_out timeline timeline_prom timeline_interval =
     let threshold_mode =
       if String.lowercase_ascii threshold = "adaptive" then
         Ok (Simulator.Engine.Adaptive
@@ -451,6 +575,31 @@ let simulate_cmd =
     | _, _, _, _, Error e ->
         `Error (false, e)
     | Ok threshold, Ok domains, Ok placement, Ok algorithm, Ok partition -> (
+        let want_timeline = timeline <> None || timeline_prom <> None in
+        if want_timeline && timeline_interval <= 0. then
+          `Error
+            ( false,
+              Printf.sprintf "--timeline-interval %g: must be positive"
+                timeline_interval )
+        else
+        let tl_ref = ref None in
+        let tl_render f () =
+          match !tl_ref with Some tl -> f tl | None -> ""
+        in
+        match
+          register_sinks
+            [
+              (trace, fun () -> Obs.Trace.to_json ());
+              (trace_folded, fun () -> Obs.Trace.to_folded ());
+              ( stats_out,
+                fun () ->
+                  Obs.Metrics.Snapshot.to_json (Obs.Metrics.snapshot ()) );
+              (timeline, tl_render Obs.Timeline.to_jsonl);
+              (timeline_prom, tl_render Obs.Timeline.to_prom);
+            ]
+        with
+        | Error e -> `Error (false, e)
+        | Ok () -> (
         let platform =
           Array.init hosts (fun id ->
               if id < hosts / 2 then
@@ -472,20 +621,26 @@ let simulate_cmd =
             algorithm;
           }
         in
-        if stats then begin
+        if stats || stats_out <> None then begin
           Obs.Metrics.reset ();
           Obs.Metrics.set_enabled true
         end;
-        if trace <> None then Obs.Trace.start ();
+        let tracing = trace <> None || trace_folded <> None in
+        if tracing then Obs.Trace.start ();
+        let timeline_interval =
+          if want_timeline then Some timeline_interval else None
+        in
         let simulate () =
           if domains > 1 && shards > 1 then
             Par.Pool.with_pool ~domains (fun pool ->
-                Simulator.Sharded.run ~pool ~seed ~shards ~partition config
-                  ~platform)
-          else Simulator.Sharded.run ~seed ~shards ~partition config ~platform
+                Simulator.Sharded.run ~pool ~seed ~shards ~partition
+                  ?timeline_interval config ~platform)
+          else
+            Simulator.Sharded.run ~seed ~shards ~partition ?timeline_interval
+              config ~platform
         in
         match simulate () with
-        | { merged; _ } ->
+        | { merged; _ } as result ->
             if shards > 1 then Printf.printf "shards: %d\n" shards;
             if placement <> Simulator.Policy.Resolve then
               Printf.printf "policy: %s (repair budget %d)\n"
@@ -499,27 +654,105 @@ let simulate_cmd =
               horizon merged.arrivals merged.rejected merged.departures
               merged.reallocations merged.failed_reallocations
               merged.migrations merged.mean_min_yield merged.final_threshold;
+            tl_ref := result.Simulator.Sharded.timeline;
             if stats then print_stats ();
-            (match trace with
-            | None -> ()
-            | Some path ->
-                Obs.Trace.stop ();
-                Obs.Trace.write path;
+            if tracing then Obs.Trace.stop ();
+            flush_sinks ();
+            Option.iter
+              (fun path ->
                 Printf.eprintf "wrote trace %s (%d events)\n%!" path
-                  (Obs.Trace.event_count ()));
+                  (Obs.Trace.event_count ()))
+              trace;
+            Option.iter
+              (fun path -> Printf.eprintf "wrote folded stacks %s\n%!" path)
+              trace_folded;
+            Option.iter
+              (fun path -> Printf.eprintf "wrote stats %s\n%!" path)
+              stats_out;
+            (match !tl_ref with
+            | Some tl ->
+                let note path =
+                  Printf.eprintf "wrote timeline %s (%d samples)\n%!" path
+                    (Obs.Timeline.length tl)
+                in
+                Option.iter note timeline;
+                Option.iter note timeline_prom
+            | None -> ());
             `Ok ()
-        | exception Invalid_argument e -> `Error (false, e))
+        | exception Invalid_argument e -> `Error (false, e)))
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run the online-hosting simulation (arrivals/departures with \
              periodic reallocation; --shards partitions the platform into \
              independent shards, --domains runs them in parallel, --stats / \
-             --trace observe the run).")
+             --stats-out / --trace / --trace-folded / --timeline observe \
+             the run).")
     Term.(ret (const run $ horizon $ arrival_rate $ mean_lifetime $ period
                $ max_error $ threshold $ hosts $ seed $ shards $ domains
                $ stats_term $ trace $ policy $ repair_budget $ algo
-               $ partition))
+               $ partition $ trace_folded_term $ stats_out_term $ timeline
+               $ timeline_prom $ timeline_interval))
+
+(* report *)
+
+let report_cmd =
+  let history =
+    Arg.(value & opt string "bench/history"
+         & info [ "history" ] ~docv:"DIR"
+             ~doc:"Bench history directory (one \
+                   $(b,<git-rev>-<n>.json) archive per bench run).")
+  in
+  let baseline =
+    Arg.(value & opt (some string) None
+         & info [ "baseline" ] ~docv:"REV"
+             ~doc:"Baseline git rev for deltas and the regression gate \
+                   (default: the oldest rev in the history).")
+  in
+  let max_regression =
+    Arg.(value & opt float 25.
+         & info [ "max-regression" ] ~docv:"PCT"
+             ~doc:"Fail when a gated (deterministic counter) metric's \
+                   latest value exceeds the baseline by more than $(docv) \
+                   percent. Wall-clock metrics are never gated.")
+  in
+  let run history baseline max_regression =
+    match Obs.Report.load ~dir:history with
+    | Error e -> `Error (false, e)
+    | Ok t -> (
+        let baseline =
+          match baseline with
+          | Some rev -> rev
+          | None -> (Obs.Report.revs t).(0)
+        in
+        match Obs.Report.render ~baseline t with
+        | Error e -> `Error (false, e)
+        | Ok table -> (
+            print_string table;
+            match
+              Obs.Report.gate ~baseline ~max_regression_pct:max_regression t
+            with
+            | Error e -> `Error (false, e)
+            | Ok [] ->
+                Printf.printf
+                  "\ngate: ok (no gated metric above baseline %s +%g%%)\n"
+                  baseline max_regression;
+                `Ok ()
+            | Ok failures ->
+                print_newline ();
+                print_string (Obs.Report.render_failures failures);
+                `Error
+                  ( false,
+                    Printf.sprintf
+                      "%d gated metric(s) regressed past %g%% of baseline %s"
+                      (List.length failures) max_regression baseline )))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render the bench-history observatory (per-metric sparkline \
+             trends across revs, deltas vs a baseline) and gate the \
+             deterministic counter metrics against regressions.")
+    Term.(ret (const run $ history $ baseline $ max_regression))
 
 (* theorem *)
 
@@ -544,4 +777,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; solve_cmd; compare_cmd; inspect_cmd; simulate_cmd;
-            theorem_cmd ]))
+            report_cmd; theorem_cmd ]))

@@ -126,6 +126,7 @@ let build_tableau n rows =
    changes but the point does not move, the precondition for cycling. *)
 let pivot tab ~row ~col =
   Obs.Metrics.incr c_pivots;
+  Pivot_clock.tick ();
   let t = tab.t and n_cols = tab.n_cols in
   let degenerate = Float.abs t.(row).(n_cols) <= feasibility_tol in
   if degenerate then Obs.Metrics.incr c_degenerate;

@@ -1,0 +1,9 @@
+(* Unlike the Obs.Metrics pivot counters (gated behind VMALLOC_OBS), this
+   clock is always on: the simulator's timeline samples pivot deltas on
+   the sim clock whether or not the metric sinks are live. One DLS lookup
+   plus an int increment per pivot is noise next to the FTRAN/BTRAN work
+   a pivot performs. *)
+
+let key = Domain.DLS.new_key (fun () -> ref 0)
+let tick () = incr (Domain.DLS.get key)
+let total () = !(Domain.DLS.get key)

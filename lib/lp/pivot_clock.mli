@@ -1,0 +1,17 @@
+(** Always-on, domain-local simplex pivot clock.
+
+    A monotone per-domain count of every simplex pivot performed on the
+    calling domain (both the revised and the dense solver tick it),
+    independent of the {!Obs.Metrics} enabled flag. Consumers that need a
+    deterministic "pivots spent in this stretch of work" — the online
+    simulator's timeline gauges — snapshot {!total} at two points on the
+    same domain and subtract; because a {!Par.Pool} task runs on exactly
+    one domain, such deltas are a pure function of the work performed,
+    whatever the pool size. Absolute values are meaningless across
+    domains (each domain counts only its own pivots). *)
+
+val tick : unit -> unit
+(** Count one pivot on the calling domain. *)
+
+val total : unit -> int
+(** The calling domain's cumulative pivot count. *)

@@ -487,6 +487,7 @@ let primal_phase st ~cost ?iters_counter ~max_iterations () =
           st.stat.(j) <- st_basic;
           st.stat.(l) <- !best_bound;
           Obs.Metrics.incr c_pivots;
+          Pivot_clock.tick ();
           if t <= degenerate_step then begin
             Obs.Metrics.incr c_degenerate;
             incr streak;
@@ -572,6 +573,7 @@ let dual_phase st ~cost ~max_iterations =
           st.stat.(j) <- st_basic;
           st.stat.(jl) <- (if sigma > 0. then st_lower else st_upper);
           Obs.Metrics.incr c_pivots;
+          Pivot_clock.tick ();
           if Float.abs t <= degenerate_step then Obs.Metrics.incr c_degenerate;
           push_eta st r d_col;
           loop ()
@@ -606,6 +608,7 @@ let expel_artificials st =
           st.stat.(jj) <- st_basic;
           st.stat.(art) <- st_lower;
           Obs.Metrics.incr c_pivots;
+          Pivot_clock.tick ();
           Obs.Metrics.incr c_degenerate;
           push_eta st r d_col
         end

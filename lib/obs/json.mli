@@ -1,0 +1,34 @@
+(** Minimal JSON reader (bench-history observatory).
+
+    The repo's emitters hand-print their JSON; this is the matching
+    hand-rolled parser for the one consumer that reads JSON back —
+    {!Obs.Report} over [bench/history/]. Full JSON syntax; every number
+    becomes a [float]; string escapes are decoded (non-ASCII [\u]
+    escapes degrade to ['?'], which the bench emitters never produce). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** members in document order *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document ([Error] carries a one-line message
+    with a byte offset). *)
+
+val member : string -> t -> t option
+(** Object member lookup; [None] on non-objects and missing keys. *)
+
+val to_num : t -> float option
+(** The number, or [Some 0. / Some 1.] for booleans (bench files encode
+    flags like [identical] as booleans); [None] otherwise. *)
+
+val to_str : t -> string option
+
+val to_list : t -> t list
+(** Elements of a [List], [[]] for any other constructor. *)
+
+val obj_items : t -> (string * t) list
+(** Members of an [Obj], [[]] for any other constructor. *)

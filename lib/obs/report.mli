@@ -1,0 +1,50 @@
+(** Bench-history regression observatory.
+
+    [bench/main.ml] archives every run as
+    [bench/history/<git-rev>-<n>.json]. This module reads those archives
+    back, aligns metrics across revisions, renders per-metric sparkline
+    tables with deltas against a baseline rev, and gates the
+    {e deterministic counter} metrics (simplex pivots, bins per event,
+    oracle calls, search rounds — flagged [\[gated\]] in the table)
+    against a regression threshold. Wall-clock seconds and speedups are
+    shown but never gated: they vary with the host, while the counters
+    are pure functions of the code (DESIGN.md §14).
+
+    Loading is deterministic: revisions are ordered by (earliest mtime
+    of the rev's files, rev name), each rev's values come from its
+    highest-numbered file, and metrics are sorted by key — so rendering
+    the same directory twice is byte-identical. *)
+
+type t
+
+type failure = {
+  metric : string;
+  base : float;  (** baseline value *)
+  latest : float;  (** latest rev's value *)
+  pct : float;  (** regression percent; [infinity] when [base = 0] *)
+}
+
+val load : dir:string -> (t, string) result
+(** Read every [*.json] under [dir]. [Error] on an unreadable directory,
+    no history files, or an unparseable file. *)
+
+val revs : t -> string array
+(** Revisions, oldest first. *)
+
+val gated : string -> bool
+(** Whether a metric key is under the gate's jurisdiction (a
+    deterministic lower-is-better counter). *)
+
+val render : ?baseline:string -> t -> (string, string) result
+(** The sparkline table. [baseline] defaults to the oldest rev;
+    [Error] when it is not in the history. *)
+
+val gate :
+  baseline:string -> max_regression_pct:float -> t -> (failure list, string) result
+(** Gated metrics whose latest value exceeds
+    [base * (1 + max_regression_pct / 100)] (any growth from a zero
+    base fails). [Ok []] means the gate passes. [Error] when [baseline]
+    is not in the history. *)
+
+val render_failures : failure list -> string
+(** One [REGRESSION metric: base -> latest (+pct%)] line each. *)

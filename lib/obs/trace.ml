@@ -101,3 +101,136 @@ let write path =
   let oc = open_out path in
   output_string oc (to_json ());
   close_out oc
+
+(* ---- Span-tree folding ---------------------------------------------- *)
+
+type agg = { label : string; calls : int; total_us : float; self_us : float }
+type weight = Self_us | Calls
+
+(* Rebuild the span forest from the flat buffer. Spans nest by interval
+   containment within a tid: sorting by (tid, ts asc, dur desc, seq desc)
+   puts every ancestor before its descendants — a parent starts no later
+   and ends no earlier than its children, and at bitwise-identical
+   intervals the parent holds the higher record sequence, because spans
+   are recorded on exit (children before parents). A stack sweep that
+   pops every span ending at or before the current start then recovers
+   each span's ancestor path exactly. Returns
+   [(seq, parent_seq, path_root_first, event)] per span; [parent_seq] is
+   [-1] at a root. *)
+let span_forest () =
+  Mutex.lock buf_mutex;
+  let evs = !events in
+  Mutex.unlock buf_mutex;
+  (* The buffer is most-recent-first: arr.(i) has record seq [n - 1 - i]. *)
+  let arr = Array.of_list evs in
+  let n = Array.length arr in
+  let spans = ref [] in
+  Array.iteri
+    (fun i ev -> if ev.ph = 'X' then spans := (n - 1 - i, ev) :: !spans)
+    arr;
+  let sorted =
+    List.sort
+      (fun (sa, (a : event)) (sb, (b : event)) ->
+        match compare a.tid b.tid with
+        | 0 -> (
+            match Float.compare a.ts b.ts with
+            | 0 -> (
+                match Float.compare b.dur a.dur with
+                | 0 -> compare sb sa
+                | c -> c)
+            | c -> c)
+        | c -> c)
+      !spans
+  in
+  let out = ref [] in
+  let stack = ref [] in
+  let cur_tid = ref min_int in
+  let ends (e : event) = e.ts +. e.dur in
+  List.iter
+    (fun (seq, ev) ->
+      if ev.tid <> !cur_tid then begin
+        cur_tid := ev.tid;
+        stack := []
+      end;
+      let rec pop () =
+        match !stack with
+        | (_, top) :: rest when ends top <= ev.ts ->
+            stack := rest;
+            pop ()
+        | _ -> ()
+      in
+      pop ();
+      let parent = match !stack with [] -> -1 | (pseq, _) :: _ -> pseq in
+      let path =
+        List.rev_map (fun (_, (e : event)) -> e.name) !stack @ [ ev.name ]
+      in
+      out := (seq, parent, path, ev) :: !out;
+      stack := (seq, ev) :: !stack)
+    sorted;
+  List.rev !out
+
+(* Self time of a span instance: its duration minus its direct children's
+   durations, clamped at zero (clock granularity can make children appear
+   to cover slightly more than the parent). *)
+let self_of forest =
+  let child = Hashtbl.create 64 in
+  List.iter
+    (fun (_, parent, _, (ev : event)) ->
+      if parent >= 0 then
+        Hashtbl.replace child parent
+          (Option.value ~default:0. (Hashtbl.find_opt child parent) +. ev.dur))
+    forest;
+  fun seq (ev : event) ->
+    Float.max 0.
+      (ev.dur -. Option.value ~default:0. (Hashtbl.find_opt child seq))
+
+let aggregate () =
+  let forest = span_forest () in
+  let self = self_of forest in
+  let by_label = Hashtbl.create 16 in
+  List.iter
+    (fun (seq, _, _, (ev : event)) ->
+      let calls, total, selfs =
+        Option.value ~default:(0, 0., 0.) (Hashtbl.find_opt by_label ev.name)
+      in
+      Hashtbl.replace by_label ev.name
+        (calls + 1, total +. ev.dur, selfs +. self seq ev))
+    forest;
+  Hashtbl.fold
+    (fun label (calls, total_us, self_us) acc ->
+      { label; calls; total_us; self_us } :: acc)
+    by_label []
+  |> List.sort (fun a b -> compare a.label b.label)
+
+(* Frame names in folded output must not contain the separators the
+   format reserves. *)
+let folded_frame name =
+  String.map
+    (fun c -> match c with ';' | ' ' | '\n' -> '_' | _ -> c)
+    name
+
+let to_folded ?(weight = Self_us) () =
+  let forest = span_forest () in
+  let self = self_of forest in
+  let acc = Hashtbl.create 64 in
+  List.iter
+    (fun (seq, _, path, (ev : event)) ->
+      let key = String.concat ";" (List.map folded_frame path) in
+      let w =
+        match weight with Calls -> 1. | Self_us -> self seq ev
+      in
+      Hashtbl.replace acc key
+        (Option.value ~default:0. (Hashtbl.find_opt acc key) +. w))
+    forest;
+  let lines = Hashtbl.fold (fun k v l -> (k, v) :: l) acc [] in
+  let lines = List.sort (fun (a, _) (b, _) -> compare a b) lines in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s %.0f\n" k v))
+    lines;
+  Buffer.contents buf
+
+let write_folded ?weight path =
+  let oc = open_out path in
+  output_string oc (to_folded ?weight ());
+  close_out oc

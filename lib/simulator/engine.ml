@@ -63,6 +63,20 @@ type event = Arrival | Departure of int (* uid *) | Reallocate
 
 type final_service = { f_uid : int; f_node : int; f_mem : float; f_cpu : float }
 
+(* One timeline grid-point sample. Work counters are cumulative since run
+   start and deliberately independent of the Obs.Metrics enabled flag:
+   they are plain ints on the engine's own domain, so a sample is a pure
+   function of the event history — the determinism the timeline tests
+   lock across domain and shard counts (DESIGN.md §14). *)
+type timeline_sample = {
+  tl_time : float;
+  tl_yield : float;
+  tl_active : int;
+  tl_repairs : int;
+  tl_bins_touched : int;
+  tl_pivots : int;
+}
+
 (* Deterministic operation counters (Obs.Metrics never records wall-clock
    time; reallocation latency in wall-clock terms lives in the "reallocate"
    trace spans instead, with the deterministic work-size proxy — services
@@ -125,10 +139,23 @@ let build_instances ~platform ~threshold (actives : live array) =
     Model.Instance.v ~nodes:platform ~services:est_services,
     placement )
 
-let run ?rng ?(incremental = true) ?final config ~platform =
+let run ?rng ?(incremental = true) ?final ?timeline config ~platform =
   validate config ~platform;
+  (match timeline with
+  | Some (dt, _) when dt <= 0. ->
+      invalid_arg "Engine.run: timeline interval must be positive"
+  | _ -> ());
   let rng = match rng with Some r -> r | None -> Prng.Rng.create ~seed:0 in
   let n_nodes = Array.length platform in
+  (* Deterministic work counters for the timeline gauges — always on (an
+     int add), unlike their Obs.Metrics twins. *)
+  let repairs_n = ref 0 in
+  let bins_n = ref 0 in
+  let pivot_base = Lp.Pivot_clock.total () in
+  let touch_bins n =
+    Obs.Metrics.add c_bins_touched n;
+    bins_n := !bins_n + n
+  in
   (* Incremental bin state, only for the probe-based placement policies.
      The resolve path never consults it, keeping that path byte-identical
      to the pre-policy engine (locked by the golden seed-0 tests). *)
@@ -211,7 +238,7 @@ let run ?rng ?(incremental = true) ?final config ~platform =
         && (!best < 0 || count.(h) < count.(!best))
       then best := h
     done;
-    Obs.Metrics.add c_bins_touched h_count;
+    touch_bins h_count;
     if !best >= 0 then begin
       l.node <- !best;
       true
@@ -238,7 +265,7 @@ let run ?rng ?(incremental = true) ?final config ~platform =
     if not (Active_set.is_empty actives) then begin
       let n_live = Active_set.length actives in
       Obs.Metrics.observe h_realloc_services n_live;
-      Obs.Metrics.add c_bins_touched n_nodes;
+      touch_bins n_nodes;
       Obs.Trace.span "reallocate"
         ~args:[ ("services", string_of_int n_live) ]
       @@ fun () ->
@@ -305,11 +332,40 @@ let run ?rng ?(incremental = true) ?final config ~platform =
   in
   schedule_reallocations config.reallocation_period;
   record 0.;
+  (* Timeline grid: gauges are sampled at virtual times k * interval,
+     k = 0, 1, ... <= horizon. A grid point is emitted once every event at
+     or before it has been processed (events exactly on the grid land in
+     the sample), using the piecewise-constant state between events — the
+     same convention as the yield integral. *)
+  let tl_next = ref 0 in
+  let tl_emit_until limit =
+    match timeline with
+    | None -> ()
+    | Some (dt, emit) ->
+        let rec go () =
+          let t = float_of_int !tl_next *. dt in
+          if t < limit && t <= config.horizon +. 1e-9 then begin
+            emit
+              {
+                tl_time = t;
+                tl_yield = !current_yield;
+                tl_active = Active_set.length actives;
+                tl_repairs = !repairs_n;
+                tl_bins_touched = !bins_n;
+                tl_pivots = Lp.Pivot_clock.total () - pivot_base;
+              };
+            incr tl_next;
+            go ()
+          end
+        in
+        go ()
+  in
   (* Main loop. *)
   let rec loop () =
     match Event_queue.pop_min queue with
     | None -> ()
     | Some (time, event) ->
+        tl_emit_until time;
         advance_to time;
         let epoch =
           match event with
@@ -349,7 +405,7 @@ let run ?rng ?(incremental = true) ?final config ~platform =
                     let chosen, touched =
                       Repair.choose r config.placement ~rng ~mem:l.memory
                     in
-                    Obs.Metrics.add c_bins_touched touched;
+                    touch_bins touched;
                     chosen
               in
               (match placed with
@@ -395,8 +451,11 @@ let run ?rng ?(incremental = true) ?final config ~platform =
                             incr migrations;
                             Obs.Metrics.incr c_migrations)
                       in
-                      Obs.Metrics.add c_bins_touched touched;
-                      if moved > 0 then Obs.Metrics.incr c_repairs;
+                      touch_bins touched;
+                      if moved > 0 then begin
+                        Obs.Metrics.incr c_repairs;
+                        incr repairs_n
+                      end;
                       maybe_fallback r));
               state_dirty := true;
               false
@@ -414,6 +473,7 @@ let run ?rng ?(incremental = true) ?final config ~platform =
         loop ()
   in
   loop ();
+  tl_emit_until infinity;
   advance_to config.horizon;
   (match final with
   | None -> ()

@@ -78,10 +78,27 @@ type final_service = {
     end-of-run placement handed to the [?final] callback so tests can
     check feasibility without re-deriving it from the yield log. *)
 
+type timeline_sample = {
+  tl_time : float;  (** grid time k * interval *)
+  tl_yield : float;  (** actual minimum yield at that instant *)
+  tl_active : int;  (** live services at that instant *)
+  tl_repairs : int;  (** cumulative repair passes that moved a service *)
+  tl_bins_touched : int;  (** cumulative bins examined by decisions *)
+  tl_pivots : int;  (** cumulative simplex pivots spent by this run *)
+}
+(** One fixed-grid telemetry sample (DESIGN.md §14). The last three
+    fields are cumulative counters since the start of the run; consumers
+    turn them into rates by differencing consecutive samples. They are
+    counted by the engine itself (pivots via {!Lp.Pivot_clock}), never
+    read from the {!Obs.Metrics} sinks, so they are exact whether or not
+    metrics are enabled and independent of what else runs in the
+    process. *)
+
 val run :
   ?rng:Prng.Rng.t ->
   ?incremental:bool ->
   ?final:(final_service list -> unit) ->
+  ?timeline:float * (timeline_sample -> unit) ->
   config ->
   platform:Model.Node.t array ->
   stats
@@ -100,6 +117,14 @@ val run :
     the slow reference the differential tests compare against, never a
     mode to run for its own sake. [final] receives the services still
     live at the horizon, in insertion order, just before [run] returns.
+
+    [timeline] is [(interval, emit)]: [emit] receives one
+    {!timeline_sample} per virtual-time grid point [k * interval] in
+    [\[0, horizon\]], in order, each reflecting the piecewise-constant
+    state after every event at or before that instant. Sampling is driven
+    purely by the sim clock, so the sequence is deterministic for a given
+    rng whatever the domain count. Raises [Invalid_argument] on a
+    non-positive interval.
 
     The arrival/departure paths are O(log n) per event (priority-queue
     discipline plus an O(1) insertion-ordered active set); the minimum

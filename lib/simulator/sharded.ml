@@ -4,7 +4,18 @@ type result = {
   merged : Engine.stats;
   per_shard : Engine.stats array;
   finals : Engine.final_service list array;
+  timeline : Obs.Timeline.t option;
 }
+
+let timeline_cols =
+  [|
+    "yield_min";
+    "active_services";
+    "shard_imbalance";
+    "repairs_per_t";
+    "bins_touched_per_t";
+    "pivots_per_t";
+  |]
 
 (* Same recipe as Experiments.Corpus.seed_of_spec: a stable Hashtbl.hash of
    the identifying tuple, so every shard's stream exists before dispatch
@@ -157,8 +168,60 @@ let merge ~horizon (per_shard : Engine.stats array) =
         per_shard.(0).Engine.final_threshold per_shard;
   }
 
+(* Per-grid-index fold of the per-shard sample sequences. Every shard runs
+   the same config (same horizon, same interval), so each produces exactly
+   the same grid: row i of every shard is the sample at t = i * interval.
+   Gauges are combined pointwise (min / sum / imbalance); the cumulative
+   counters are summed and differenced against the previous grid point to
+   give rates per virtual-time unit. All arithmetic is a pure fold over
+   the per-shard samples in shard order, so the result is byte-stable at
+   any pool size. *)
+let merge_timeline ~interval (per_shard : Engine.timeline_sample array array)
+    =
+  let k = Array.length per_shard in
+  let n = Array.length per_shard.(0) in
+  Array.iter
+    (fun (s : Engine.timeline_sample array) ->
+      if Array.length s <> n then
+        invalid_arg "Sharded.run: shards disagree on the timeline grid")
+    per_shard;
+  let tl = Obs.Timeline.create ~interval ~cols:timeline_cols in
+  let prev = ref (0, 0, 0) in
+  for i = 0 to n - 1 do
+    let ym = ref infinity and active = ref 0 and active_max = ref 0 in
+    let repairs = ref 0 and bins = ref 0 and pivots = ref 0 in
+    for s = 0 to k - 1 do
+      let x = per_shard.(s).(i) in
+      ym := Float.min !ym x.Engine.tl_yield;
+      active := !active + x.Engine.tl_active;
+      if x.Engine.tl_active > !active_max then active_max := x.Engine.tl_active;
+      repairs := !repairs + x.Engine.tl_repairs;
+      bins := !bins + x.Engine.tl_bins_touched;
+      pivots := !pivots + x.Engine.tl_pivots
+    done;
+    let mean = float_of_int !active /. float_of_int k in
+    let imbalance =
+      if !active = 0 then 0.
+      else (float_of_int !active_max -. mean) /. mean
+    in
+    let pr, pb, pp = !prev in
+    let rate cum last = float_of_int (cum - last) /. interval in
+    Obs.Timeline.append tl
+      ~time:per_shard.(0).(i).Engine.tl_time
+      [|
+        !ym;
+        float_of_int !active;
+        imbalance;
+        rate !repairs pr;
+        rate !bins pb;
+        rate !pivots pp;
+      |];
+    prev := (!repairs, !bins, !pivots)
+  done;
+  tl
+
 let run ?pool ?(seed = 0) ?(partition = Contiguous) ?(incremental = true)
-    ~shards config ~platform =
+    ?timeline_interval ~shards config ~platform =
   let parts = split ~policy:partition ~shards platform in
   let indices = Array.init shards (fun s -> s) in
   (* Every shard's stream is derived up front, in shard order, outside the
@@ -169,22 +232,37 @@ let run ?pool ?(seed = 0) ?(partition = Contiguous) ?(incremental = true)
   let run_one s =
     Obs.Trace.span "shard" ~args:[ ("shard", string_of_int s) ] @@ fun () ->
     let finals = ref [] in
+    let samples = ref [] in
+    let timeline =
+      Option.map
+        (fun dt ->
+          (dt, fun x -> samples := (x : Engine.timeline_sample) :: !samples))
+        timeline_interval
+    in
     let stats =
       Engine.run ~rng:rngs.(s) ~incremental
         ~final:(fun fs -> finals := fs)
-        (shard_config config) ~platform:parts.(s)
+        ?timeline (shard_config config) ~platform:parts.(s)
     in
-    (stats, !finals)
+    (stats, !finals, Array.of_list (List.rev !samples))
   in
   let results =
     match pool with
     | Some pool when shards > 1 -> Par.Pool.map pool indices run_one
     | _ -> Array.map run_one indices
   in
-  let per_shard = Array.map fst results in
-  let finals = Array.map snd results in
+  let per_shard = Array.map (fun (s, _, _) -> s) results in
+  let finals = Array.map (fun (_, f, _) -> f) results in
+  let timeline =
+    Option.map
+      (fun dt ->
+        merge_timeline ~interval:dt
+          (Array.map (fun (_, _, t) -> t) results))
+      timeline_interval
+  in
   {
     merged = merge ~horizon:config.Engine.horizon per_shard;
     per_shard;
     finals;
+    timeline;
   }

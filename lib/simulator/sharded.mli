@@ -44,7 +44,19 @@ type result = {
   finals : Engine.final_service list array;
       (** Per shard, the services still live at the horizon with their
           final hosts (node ids are shard-local). *)
+  timeline : Obs.Timeline.t option;
+      (** Present iff [timeline_interval] was given: the merged
+          fixed-grid telemetry (see {!timeline_cols}). *)
 }
+
+val timeline_cols : string array
+(** Columns of the merged timeline, in order: [yield_min] (global
+    min-over-shards yield at the grid instant), [active_services] (sum),
+    [shard_imbalance] ((max - mean) / mean of per-shard live services, 0
+    when the platform is empty), and [repairs_per_t] /
+    [bins_touched_per_t] / [pivots_per_t] — per-interval counter deltas
+    summed over shards, divided by the interval (rates per virtual-time
+    unit). *)
 
 val shard_seed : seed:int -> shard:int -> shards:int -> int
 (** The seed of shard [shard]'s RNG stream when [shards > 1] (a stable
@@ -66,6 +78,7 @@ val run :
   ?seed:int ->
   ?partition:partition_policy ->
   ?incremental:bool ->
+  ?timeline_interval:float ->
   shards:int ->
   Engine.config ->
   platform:Model.Node.t array ->
@@ -74,6 +87,10 @@ val run :
     Deterministic in [seed] and [partition] alone — same seed, same
     stats, at any pool size. [seed] defaults to 0, [partition] to
     [Contiguous]; [incremental] is forwarded to {!Engine.run} (probe
-    placement policies only). Raises like {!Engine.run} plus the
-    {!partition} cases. Each shard traces a ["shard"] span when
-    {!Obs.Trace} is enabled. *)
+    placement policies only). [timeline_interval] turns on fixed-grid
+    telemetry: every shard samples its engine on the same virtual-time
+    grid and the samples are merged in shard order into
+    [result.timeline] — a pure function of [(seed, shards, partition,
+    config)], byte-identical at any [VMALLOC_DOMAINS] (DESIGN.md §14).
+    Raises like {!Engine.run} plus the {!partition} cases. Each shard
+    traces a ["shard"] span when {!Obs.Trace} is enabled. *)

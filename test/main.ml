@@ -23,6 +23,7 @@ let () =
       ("rng", Test_rng.suite);
       ("par", Test_par.suite);
       ("obs", Test_obs.suite);
+      ("timeline", Test_timeline.suite);
       ("simulator", Test_simulator.suite);
       ("sharded", Test_sharded.suite);
       ("repair-diff", Test_repair_diff.suite);

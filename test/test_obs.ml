@@ -163,6 +163,98 @@ let test_trace_spans () =
       "\"k\": \"v\"";
     ]
 
+(* Busy-wait until the µs wall clock ticks, so every span that wraps it
+   has a strictly positive duration — what the interval-nesting fold
+   relies on to separate parents from the children recorded at (almost)
+   the same instant. *)
+let spin () =
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () <= t0 do () done
+
+let with_trace f =
+  Obs.Trace.stop ();
+  Obs.Trace.reset ();
+  Obs.Trace.start ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.stop ();
+      Obs.Trace.reset ())
+    f
+
+let find_agg label aggs =
+  match
+    List.find_opt (fun (a : Obs.Trace.agg) -> a.label = label) aggs
+  with
+  | Some a -> a
+  | None -> Alcotest.failf "no aggregate for span %S" label
+
+(* Self time is the span's duration minus its direct children's: with one
+   parent over two leaf children the arithmetic is exact, and leaves keep
+   self = total. *)
+let test_trace_self_time () =
+  with_trace @@ fun () ->
+  Obs.Trace.span "outer" (fun () ->
+      Obs.Trace.span "a" spin;
+      Obs.Trace.span "b" spin;
+      spin ());
+  let aggs = Obs.Trace.aggregate () in
+  let outer = find_agg "outer" aggs in
+  let a = find_agg "a" aggs in
+  let b = find_agg "b" aggs in
+  Alcotest.(check int) "one outer call" 1 outer.calls;
+  Alcotest.(check bool) "all durations positive" true
+    (outer.total_us > 0. && a.total_us > 0. && b.total_us > 0.);
+  Alcotest.(check bool) "children fit inside the parent" true
+    (outer.total_us >= a.total_us +. b.total_us);
+  Alcotest.(check (float 1e-6)) "outer self = total - children"
+    (outer.total_us -. a.total_us -. b.total_us)
+    outer.self_us;
+  Alcotest.(check (float 1e-9)) "leaf self = leaf total" a.total_us a.self_us;
+  Alcotest.(check string) "folded call stacks"
+    "outer 1\nouter;a 1\nouter;b 1\n"
+    (Obs.Trace.to_folded ~weight:Obs.Trace.Calls ())
+
+let test_trace_nesting () =
+  with_trace @@ fun () ->
+  Obs.Trace.span "l1" (fun () ->
+      Obs.Trace.span "l2" (fun () -> Obs.Trace.span "l3" spin);
+      Obs.Trace.span "l2" (fun () -> Obs.Trace.span "l3" spin));
+  Alcotest.(check string) "three-level folded stacks"
+    "l1 1\nl1;l2 2\nl1;l2;l3 2\n"
+    (Obs.Trace.to_folded ~weight:Obs.Trace.Calls ());
+  let aggs = Obs.Trace.aggregate () in
+  Alcotest.(check int) "l2 called twice" 2 (find_agg "l2" aggs).calls;
+  Alcotest.(check int) "l3 called twice" 2 (find_agg "l3" aggs).calls;
+  (* The Self_us folding covers the same stacks with timing weights. *)
+  let timed = Obs.Trace.to_folded () in
+  List.iter
+    (fun prefix ->
+      Alcotest.(check bool) (prefix ^ " present") true
+        (contains timed prefix))
+    [ "l1 "; "l1;l2 "; "l1;l2;l3 " ]
+
+(* Call-weighted folded stacks are a pure function of the span-nesting
+   structure, so a fan-out whose per-task span tree is fixed produces
+   byte-identical output at any pool size — the tids differ, the folded
+   stacks don't. *)
+let test_trace_folded_pool_invariant () =
+  let run domains =
+    with_trace @@ fun () ->
+    Par.Pool.with_pool ~domains (fun pool ->
+        ignore
+          (Par.Pool.map pool (Array.init 8 Fun.id) (fun i ->
+               Obs.Trace.span "task" (fun () ->
+                   Obs.Trace.span "sub" spin;
+                   i))));
+    Obs.Trace.to_folded ~weight:Obs.Trace.Calls ()
+  in
+  let f1 = run 1 in
+  let f2 = run 2 in
+  let f4 = run 4 in
+  Alcotest.(check string) "expected stacks" "task 8\ntask;sub 8\n" f1;
+  Alcotest.(check string) "folded: 1 vs 2 domains" f1 f2;
+  Alcotest.(check string) "folded: 1 vs 4 domains" f1 f4
+
 let suite =
   List.map
     (fun (n, f) -> Alcotest.test_case n `Quick f)
@@ -174,4 +266,8 @@ let suite =
       ("Table 1 sweep snapshot identical at 1/2/4 domains",
        test_table1_snapshot_domain_invariant);
       ("trace spans and Chrome JSON export", test_trace_spans);
+      ("trace self-time arithmetic", test_trace_self_time);
+      ("trace span nesting and folded stacks", test_trace_nesting);
+      ("folded stacks identical at 1/2/4 domains",
+       test_trace_folded_pool_invariant);
     ]
