@@ -133,6 +133,27 @@ type lp_probe_run = {
 
 let lp_probe_runs : lp_probe_run list ref = ref []
 
+(* Sparse Markowitz LU vs the dense-LU + eta-file factorization backend
+   (VMALLOC_DENSE_LU=1) over the same cold + warm re-solve sequence (lp
+   section). Flop, fill and refactorization counters are deterministic;
+   wall times are not. *)
+type lp_sparse_lu_run = {
+  s_label : string;
+  s_n_vars : int;
+  s_n_cons : int;
+  s_sparse_flops : int;
+  s_dense_flops : int;
+  s_fill_in : int;
+  s_ft_updates : int;
+  s_sparse_refactors : int;
+  s_dense_refactors : int;
+  s_sparse_s : float;
+  s_dense_s : float;
+  s_identical : bool;
+}
+
+let lp_sparse_lu_runs : lp_sparse_lu_run list ref = ref []
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -143,6 +164,10 @@ let json_escape s =
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
+
+(* JSON has no NaN/Inf token; a non-finite statistic (mean yield over an
+   empty horizon, say) serializes as null so the file stays parseable. *)
+let json_4f v = if Float.is_finite v then Printf.sprintf "%.4f" v else "null"
 
 let write_bench_par_json ~scale_label ~total path =
   let oc = open_out path in
@@ -234,6 +259,27 @@ let write_bench_par_json ~scale_label ~total path =
         l.l_cold_s l.l_warm_s l.l_same_yield
         (if i < List.length lp - 1 then "," else ""))
     lp;
+  out "    ],\n";
+  out "    \"sparse_lu\": [\n";
+  let sl = List.rev !lp_sparse_lu_runs in
+  List.iteri
+    (fun i s ->
+      out
+        "      {\"label\": \"%s\", \"n_vars\": %d, \"n_cons\": %d, \
+         \"sparse_flops\": %d, \"dense_flops\": %d, \"flop_ratio\": %.2f, \
+         \"fill_in\": %d, \"ft_updates\": %d, \
+         \"sparse_refactorizations\": %d, \"dense_refactorizations\": %d, \
+         \"sparse_seconds\": %.4f, \"dense_seconds\": %.4f, \
+         \"identical\": %b}%s\n"
+        (json_escape s.s_label) s.s_n_vars s.s_n_cons s.s_sparse_flops
+        s.s_dense_flops
+        (if s.s_sparse_flops > 0 then
+           float_of_int s.s_dense_flops /. float_of_int s.s_sparse_flops
+         else 0.)
+        s.s_fill_in s.s_ft_updates s.s_sparse_refactors s.s_dense_refactors
+        s.s_sparse_s s.s_dense_s s.s_identical
+        (if i < List.length sl - 1 then "," else ""))
+    sl;
   out "    ]\n";
   out "  },\n";
   out "  \"obs\": {\n";
@@ -292,13 +338,14 @@ let write_bench_par_json ~scale_label ~total path =
       out
         "    {\"policy\": \"%s\", \"hosts\": %d, \"events\": %d, \
          \"bins_touched\": %d, \"bins_per_event\": %.2f, \"repairs\": %d, \
-         \"fallbacks\": %d, \"admitted\": %d, \"mean_min_yield\": %.4f, \
+         \"fallbacks\": %d, \"admitted\": %d, \"mean_min_yield\": %s, \
          \"seconds\": %.3f}%s\n"
         (json_escape o.o_policy) o.o_hosts o.o_events o.o_bins_touched
         (if o.o_events > 0 then
            float_of_int o.o_bins_touched /. float_of_int o.o_events
          else 0.)
-        o.o_repairs o.o_fallbacks o.o_admitted o.o_mean_yield o.o_seconds
+        o.o_repairs o.o_fallbacks o.o_admitted (json_4f o.o_mean_yield)
+        o.o_seconds
         (if i < List.length ors - 1 then "," else ""))
     ors;
   out "  ]\n";
@@ -697,6 +744,87 @@ let lp_probe_measure ~label instance =
     l_cold_s l_warm_s;
   run
 
+(* One LP through the revised simplex under both factorization backends:
+   a cold solve plus three warm re-solves from the optimal basis.
+   VMALLOC_DENSE_LU is read per solve, so toggling it in-process selects
+   the backend. The arms must return bit-identical solutions (locked
+   exhaustively by test_simplex_diff.ml); here identity doubles as a
+   sanity bit in the artifact — verdict and objective bits here; the full
+   vectors only on the lp_gen corpus, see below — and the flop counters
+   quantify how much factorization work the Markowitz ordering saves
+   (lp.sparse_lu block). *)
+let lp_sparse_lu_measure ~label p =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let was_enabled = Obs.Metrics.enabled () in
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ();
+      Obs.Metrics.set_enabled was_enabled)
+  @@ fun () ->
+  let arm dense =
+    let prev = Sys.getenv_opt "VMALLOC_DENSE_LU" in
+    Unix.putenv "VMALLOC_DENSE_LU" (if dense then "1" else "0");
+    Fun.protect ~finally:(fun () ->
+        Unix.putenv "VMALLOC_DENSE_LU" (Option.value prev ~default:"0"))
+    @@ fun () ->
+    Obs.Metrics.set_enabled false;
+    Obs.Metrics.reset ();
+    Obs.Metrics.set_enabled true;
+    let results, dt =
+      time @@ fun () ->
+      let r, basis = Lp.Simplex.solve_basis p in
+      r
+      ::
+      (match basis with
+      | Some b -> List.init 3 (fun _ -> Lp.Simplex.solve ~warm_basis:b p)
+      | None -> [])
+    in
+    Obs.Metrics.set_enabled false;
+    let snap = Obs.Metrics.snapshot () in
+    let v name = Obs.Metrics.Snapshot.counter_value snap name in
+    ( results, dt, v "simplex.lu_flops", v "simplex.lu_fill_in",
+      v "simplex.ft_updates", v "simplex.refactorizations" )
+  in
+  let rs, s_sparse_s, s_sparse_flops, s_fill_in, s_ft_updates,
+      s_sparse_refactors =
+    arm false
+  in
+  let rd, s_dense_s, s_dense_flops, _, _, s_dense_refactors = arm true in
+  (* Verdicts and optimal objectives must match to the last bit. The full
+     solution vector is bit-identical too on the lp_gen corpus (locked by
+     test_simplex_diff.ml), but the paper relaxations at this scale have
+     massively degenerate alternative optima — only the yield variable
+     carries objective weight — so the backends may legitimately stop at
+     different vertices of the same optimal face. *)
+  let s_identical =
+    List.length rs = List.length rd
+    && List.for_all2
+         (fun a b ->
+           match (a, b) with
+           | Lp.Simplex.Optimal a, Lp.Simplex.Optimal b ->
+               Int64.bits_of_float a.objective
+               = Int64.bits_of_float b.objective
+           | Lp.Simplex.Infeasible, Lp.Simplex.Infeasible
+           | Lp.Simplex.Unbounded, Lp.Simplex.Unbounded ->
+               true
+           | _ -> false)
+         rs rd
+  in
+  let run =
+    { s_label = label; s_n_vars = p.Lp.Problem.n_vars;
+      s_n_cons = Lp.Problem.n_constraints p; s_sparse_flops; s_dense_flops;
+      s_fill_in; s_ft_updates; s_sparse_refactors; s_dense_refactors;
+      s_sparse_s; s_dense_s; s_identical }
+  in
+  lp_sparse_lu_runs := run :: !lp_sparse_lu_runs;
+  Printf.eprintf "[bench] lp sparse_lu %s: sparse %.3fs  dense-LU %.3fs\n%!"
+    label s_sparse_s s_dense_s;
+  run
+
 let run_lp () =
   section_header "LP: revised simplex vs dense oracle; warm vs cold probes";
   let solver_table =
@@ -746,7 +874,38 @@ let run_lp () =
              else 0.);
           (if r.l_same_yield then "yes" else "NO (warm-start bug!)") ])
     [ (6, 24); (10, 40) ];
-  Stats.Table.print probe_table
+  Stats.Table.print probe_table;
+  (* Factorization backends at ~10x the Table-1 LP scale: the sparse
+     families where Markowitz ordering pays (banded / block-diagonal
+     bases), plus a paper relaxation for the dense-ish baseline shape. *)
+  let sparse_table =
+    Stats.Table.create
+      ~headers:
+        [ "LP"; "sparse flops"; "dense flops"; "ratio"; "fill-in";
+          "FT updates"; "same obj bits" ]
+  in
+  let add_sparse_row label p =
+    let r = lp_sparse_lu_measure ~label p in
+    Stats.Table.add_row sparse_table
+      [ label; string_of_int r.s_sparse_flops; string_of_int r.s_dense_flops;
+        Printf.sprintf "%.1fx"
+          (if r.s_sparse_flops > 0 then
+             float_of_int r.s_dense_flops /. float_of_int r.s_sparse_flops
+           else 0.);
+        string_of_int r.s_fill_in; string_of_int r.s_ft_updates;
+        (if r.s_identical then "yes" else "NO (backend bug!)") ]
+  in
+  List.iter
+    (fun (family, n_vars, n_cons) ->
+      add_sparse_row
+        (Printf.sprintf "lp_gen:%s %dx%d" (Lp_gen.family_name family) n_vars
+           n_cons)
+        (Lp_gen.generate ~seed:0 ~n_vars ~n_cons family))
+    [ (Lp_gen.Banded, 200, 150); (Lp_gen.Block_diag, 200, 150) ];
+  (let inst = oversubscribed_instance ~seed:2 ~nodes:8 ~services:64 ~factor:2. in
+   let p, _ = Heuristics.Milp.formulation ~integer:false inst in
+   add_sparse_row "relaxation 8nx64s" p);
+  Stats.Table.print sparse_table
 
 let run_table1 scale =
   section_header "Table 1: pairwise comparison of major heuristics";
@@ -1225,6 +1384,12 @@ let backfill_bench_blocks () =
     ignore
       (lp_probe_measure ~label:"fallback:3nx8s 2x-oversub"
          (oversubscribed_instance ~seed:1 ~nodes:3 ~services:8 ~factor:2.))
+  end;
+  if !lp_sparse_lu_runs = [] then begin
+    progress "backfill: lp.sparse_lu block (banded 200x150)";
+    ignore
+      (lp_sparse_lu_measure ~label:"fallback:lp_gen:banded 200x150"
+         (Lp_gen.generate ~seed:0 ~n_vars:200 ~n_cons:150 Lp_gen.Banded))
   end;
   if !sim_scaling = [] || !sim_skips = None || !sim_shard_runs = [] then begin
     progress "backfill: sim block (horizon 50)";

@@ -158,6 +158,12 @@ module Csc = struct
 
   let nnz m = Array.length m.values
 
+  let col_nnz m j = m.col_ptr.(j + 1) - m.col_ptr.(j)
+
+  let density m =
+    let cells = m.n_rows * m.n_cols in
+    if cells = 0 then 0. else float_of_int (nnz m) /. float_of_int cells
+
   let iter_col m j f =
     for k = m.col_ptr.(j) to m.col_ptr.(j + 1) - 1 do
       f m.row_idx.(k) m.values.(k)

@@ -81,6 +81,13 @@ module Csc : sig
 
   val nnz : matrix -> int
 
+  val col_nnz : matrix -> int -> int
+  (** Stored entries of one column — O(1); the sparse-LU bench arm and
+      fill diagnostics use it to report basis column populations. *)
+
+  val density : matrix -> float
+  (** [nnz / (n_rows * n_cols)], 0 for an empty matrix. *)
+
   val iter_col : matrix -> int -> (int -> float -> unit) -> unit
   (** [iter_col m j f] calls [f row value] for each stored entry of column
       [j], in ascending row order. *)

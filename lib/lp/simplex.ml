@@ -17,22 +17,35 @@ let degenerate_step = 1e-9
    signature — see Dense_simplex for the same policy on the oracle). *)
 let bland_after_degenerate = 16
 
-(* Eta-file length at which the basis inverse is refactorized from scratch.
-   Each eta both slows FTRAN/BTRAN and compounds rounding error, so the file
-   is bounded; a dense LU of the (small) basis every [refactor_every] pivots
-   costs O(m^3 / refactor_every) amortized flops per pivot, well below the
-   O(m^2) the solves themselves spend. *)
+(* Eta-file length at which the dense-LU backend (VMALLOC_DENSE_LU=1)
+   refactorizes from scratch. Each raw eta both slows FTRAN/BTRAN and
+   compounds rounding error, so the file is bounded; a dense LU of the
+   (small) basis every [refactor_every] pivots costs
+   O(m^3 / refactor_every) amortized flops per pivot. *)
 let refactor_every = 64
+
+(* The sparse backend refactorizes adaptively instead: after
+   [ft_update_cap] Forrest-Tomlin updates (each appends one row eta), or
+   as soon as update fill pushes the stored factor past
+   [fill_growth_limit] times its fresh size — whichever a given basis
+   sequence hits first. Both triggers are pure functions of the pivot
+   sequence, so the refactorization schedule is deterministic. *)
+let ft_update_cap = 100
+let fill_growth_limit = 3
 
 (* Work counters (lib/obs). The first three share names with the dense
    oracle (registration is idempotent), so bench/CI assertions hold
-   whichever solver serves a solve; the last three only move here. *)
+   whichever solver serves a solve; the rest only move here. *)
 let c_pivots = Obs.Metrics.counter "simplex.pivots"
 let c_phase1_iters = Obs.Metrics.counter "simplex.phase1_iterations"
 let c_degenerate = Obs.Metrics.counter "simplex.degenerate_pivots"
 let c_warm = Obs.Metrics.counter "simplex.warm_starts"
 let c_refactor = Obs.Metrics.counter "simplex.refactorizations"
 let c_bland = Obs.Metrics.counter "simplex.bland_switches"
+let c_warm_fallbacks = Obs.Metrics.counter "simplex.warm_fallbacks"
+let c_ft = Obs.Metrics.counter "simplex.ft_updates"
+let c_fill = Obs.Metrics.counter "simplex.lu_fill_in"
+let c_lu_flops = Obs.Metrics.counter "simplex.lu_flops"
 
 (* Nonbasic-at-lower / nonbasic-at-upper / basic, per column. *)
 let st_lower = 0
@@ -129,24 +142,40 @@ let col_dot std j w =
   if j < std.n then Problem.Csc.col_dot std.csc j w
   else w.((j - std.n) mod std.m)
 
-(* Dense LU with partial pivoting of the m x m basis matrix. [lu] stores L
-   (unit diagonal, below) and U (on and above); [piv.(k)] is the row k was
-   swapped with at step k. *)
+(* Dense LU with partial pivoting of the m x m basis matrix — the
+   VMALLOC_DENSE_LU=1 backend, kept as the factorization-level
+   differential oracle. [lu] stores L (unit diagonal, below) and U (on and
+   above); [piv.(k)] is the row k was swapped with at step k; [flops]
+   counts the multiply-subtracts the elimination spent. *)
 module Lu = struct
-  type t = { lu : float array array; piv : int array; size : int }
+  type t = { lu : float array array; piv : int array; size : int;
+             flops : int }
 
   exception Singular
 
   let factor m fill =
     let a = Array.init m (fun _ -> Array.make m 0.) in
     fill a;
+    (* Per-column magnitude of the original matrix: the singularity test
+       below is relative to it, so a well-conditioned but small-magnitude
+       basis (e.g. one from a row-scaled LP) factors fine where the old
+       absolute 1e-11 cutoff spuriously rejected it. *)
+    let scale = Array.make m 0. in
+    for j = 0 to m - 1 do
+      for i = 0 to m - 1 do
+        let av = Float.abs a.(i).(j) in
+        if av > scale.(j) then scale.(j) <- av
+      done
+    done;
     let piv = Array.make m 0 in
+    let flops = ref 0 in
     for k = 0 to m - 1 do
       let best = ref k in
       for i = k + 1 to m - 1 do
         if Float.abs a.(i).(k) > Float.abs a.(!best).(k) then best := i
       done;
-      if Float.abs a.(!best).(k) < 1e-11 then raise Singular;
+      if scale.(k) = 0. || Float.abs a.(!best).(k) < 1e-11 *. scale.(k)
+      then raise Singular;
       piv.(k) <- !best;
       if !best <> k then begin
         let t = a.(k) in
@@ -159,13 +188,15 @@ module Lu = struct
         let ai = a.(i) in
         let f = ai.(k) /. akk in
         ai.(k) <- f;
-        if f <> 0. then
+        if f <> 0. then begin
+          flops := !flops + 1 + (m - 1 - k);
           for j = k + 1 to m - 1 do
             ai.(j) <- ai.(j) -. (f *. ak.(j))
           done
+        end
       done
     done;
-    { lu = a; piv; size = m }
+    { lu = a; piv; size = m; flops = !flops }
 
   (* v := B^-1 v  (PB = LU: apply P, solve L, solve U). *)
   let ftran t v =
@@ -234,14 +265,20 @@ type eta = {
 
 let dummy_eta = { e_row = 0; e_piv = 1.; e_idx = [||]; e_val = [||] }
 
+(* Basis-inverse maintenance backend. The default is {!Sparse_lu}
+   (Markowitz LU, Forrest-Tomlin updates, adaptive refactorization);
+   [VMALLOC_DENSE_LU=1] selects the original dense LU + raw eta file,
+   kept verbatim as the factorization-level differential oracle. *)
+type backend =
+  | Dense of { mutable lu : Lu.t; etas : eta array; mutable n_etas : int }
+  | Sparse of { mutable slu : Sparse_lu.t }
+
 type state = {
   std : std;
   bas : int array;        (* m: basic column per row *)
   stat : int array;       (* n_cols *)
   xb : float array;       (* m: value of bas.(i) *)
-  mutable lu : Lu.t;
-  etas : eta array;       (* first n_etas are live, applied in order *)
-  mutable n_etas : int;
+  rep : backend;
 }
 
 let apply_eta_fwd eta v =
@@ -263,22 +300,37 @@ let apply_eta_rev eta v =
   v.(eta.e_row) <- !acc /. eta.e_piv
 
 let ftran st v =
-  Lu.ftran st.lu v;
-  for k = 0 to st.n_etas - 1 do
-    apply_eta_fwd st.etas.(k) v
-  done
+  match st.rep with
+  | Dense d ->
+      Lu.ftran d.lu v;
+      for k = 0 to d.n_etas - 1 do
+        apply_eta_fwd d.etas.(k) v
+      done
+  | Sparse s -> Sparse_lu.ftran s.slu v
 
 let btran st v =
-  for k = st.n_etas - 1 downto 0 do
-    apply_eta_rev st.etas.(k) v
-  done;
-  Lu.btran st.lu v
+  match st.rep with
+  | Dense d ->
+      for k = d.n_etas - 1 downto 0 do
+        apply_eta_rev d.etas.(k) v
+      done;
+      Lu.btran d.lu v
+  | Sparse s -> Sparse_lu.btran s.slu v
 
 let nb_val st j =
   if st.stat.(j) = st_upper then st.std.up.(j) else st.std.lo.(j)
 
-(* xB = B^-1 (b - sum over nonbasic j of A_j x_j). *)
-let compute_xb st =
+let sparse_factor_basis std bas =
+  Sparse_lu.factor ~size:std.m ~col:(fun k f -> iter_col std bas.(k) f) ()
+
+let dense_factor_basis std bas =
+  Lu.factor std.m (fun bmat ->
+      for k = 0 to std.m - 1 do
+        iter_col std bas.(k) (fun i a -> bmat.(i).(k) <- bmat.(i).(k) +. a)
+      done)
+
+(* b - sum over nonbasic j of A_j x_j: the rhs of B xB = r. *)
+let residual st =
   let std = st.std in
   let r = Array.copy std.b in
   for j = 0 to std.n_cols - 1 do
@@ -287,46 +339,108 @@ let compute_xb st =
       if v <> 0. then iter_col std j (fun i a -> r.(i) <- r.(i) -. (a *. v))
     end
   done;
+  r
+
+(* xB = B^-1 residual, through the backend's current factor. *)
+let compute_xb st =
+  let r = residual st in
   ftran st r;
-  Array.blit r 0 st.xb 0 std.m
+  Array.blit r 0 st.xb 0 st.std.m
+
+(* xB recomputed through one fresh sparse factorization of the current
+   basis: a pure function of the discrete (bas, stat) state, independent
+   of the backend and of the eta history that led here. Called at phase
+   boundaries and optimal endpoints by BOTH backends — this is what makes
+   the sparse default and the VMALLOC_DENSE_LU leg return
+   bitwise-identical solutions whenever they pivot through the same
+   bases. Deliberately unmetered: only backend factorizations count as
+   refactorizations. *)
+let canonicalize_xb st =
+  match sparse_factor_basis st.std st.bas with
+  | slu ->
+      let r = residual st in
+      Sparse_lu.ftran slu r;
+      Array.blit r 0 st.xb 0 st.std.m
+  | exception Sparse_lu.Singular -> compute_xb st
+
+(* Right after a backend (re)factorization the sparse backend's
+   [compute_xb] already equals the canonical recompute (same
+   factorization of the same basis, no etas yet), so installs skip the
+   extra factor. *)
+let canonicalize_xb_fresh st =
+  match st.rep with
+  | Dense _ -> canonicalize_xb st
+  | Sparse _ -> compute_xb st
 
 let refactor st =
   Obs.Metrics.incr c_refactor;
-  let std = st.std in
-  st.lu <-
-    Lu.factor std.m (fun bmat ->
-        for k = 0 to std.m - 1 do
-          iter_col std st.bas.(k) (fun i a ->
-              bmat.(i).(k) <- bmat.(i).(k) +. a)
-        done);
-  st.n_etas <- 0
+  match st.rep with
+  | Dense d ->
+      let lu = dense_factor_basis st.std st.bas in
+      Obs.Metrics.add c_lu_flops lu.Lu.flops;
+      d.lu <- lu;
+      d.n_etas <- 0
+  | Sparse s ->
+      let slu = sparse_factor_basis st.std st.bas in
+      Obs.Metrics.add c_lu_flops (Sparse_lu.flops slu);
+      Obs.Metrics.add c_fill (Sparse_lu.fill_in slu);
+      s.slu <- slu
 
+(* Record one basis change with the backend: a raw eta (dense) or a
+   Forrest-Tomlin update (sparse), refactorizing on the backend's
+   trigger — eta-file length for dense; update count, fill growth, or a
+   degenerate replacement diagonal for sparse. *)
 let push_eta st r d_col =
-  let cnt = ref 0 in
-  for i = 0 to Array.length d_col - 1 do
-    if i <> r && Float.abs d_col.(i) > 1e-12 then incr cnt
-  done;
-  let idx = Array.make !cnt 0 and vals = Array.make !cnt 0. in
-  let k = ref 0 in
-  for i = 0 to Array.length d_col - 1 do
-    if i <> r && Float.abs d_col.(i) > 1e-12 then begin
-      idx.(!k) <- i;
-      vals.(!k) <- d_col.(i);
-      incr k
-    end
-  done;
-  st.etas.(st.n_etas) <- { e_row = r; e_piv = d_col.(r); e_idx = idx;
-                           e_val = vals };
-  st.n_etas <- st.n_etas + 1;
-  if st.n_etas >= refactor_every then begin
-    refactor st;
-    compute_xb st
-  end
+  match st.rep with
+  | Dense d ->
+      let cnt = ref 0 in
+      for i = 0 to Array.length d_col - 1 do
+        if i <> r && Float.abs d_col.(i) > 1e-12 then incr cnt
+      done;
+      let idx = Array.make !cnt 0 and vals = Array.make !cnt 0. in
+      let k = ref 0 in
+      for i = 0 to Array.length d_col - 1 do
+        if i <> r && Float.abs d_col.(i) > 1e-12 then begin
+          idx.(!k) <- i;
+          vals.(!k) <- d_col.(i);
+          incr k
+        end
+      done;
+      d.etas.(d.n_etas) <- { e_row = r; e_piv = d_col.(r); e_idx = idx;
+                             e_val = vals };
+      d.n_etas <- d.n_etas + 1;
+      if d.n_etas >= refactor_every then begin
+        refactor st;
+        compute_xb st
+      end
+  | Sparse s -> (
+      match Sparse_lu.update s.slu ~pos:r with
+      | () ->
+          Obs.Metrics.incr c_ft;
+          let slu = s.slu in
+          if
+            Sparse_lu.updates slu >= ft_update_cap
+            || Sparse_lu.nnz slu
+               > fill_growth_limit
+                 * (Sparse_lu.basis_nnz slu + Sparse_lu.fill_in slu
+                   + st.std.m)
+          then begin
+            refactor st;
+            compute_xb st
+          end
+      | exception Sparse_lu.Unstable ->
+          refactor st;
+          compute_xb st)
 
+(* FTRAN of column [j]. Only ever called on entering columns, each
+   followed by at most one [push_eta] before the next solve, so the
+   sparse backend stashes the Forrest-Tomlin spike here. *)
 let ftran_col st j =
   let v = Array.make st.std.m 0. in
   iter_col st.std j (fun i a -> v.(i) <- v.(i) +. a);
-  ftran st v;
+  (match st.rep with
+  | Dense _ -> ftran st v
+  | Sparse s -> Sparse_lu.ftran_entering s.slu v);
   v
 
 let unit_btran st r =
@@ -647,6 +761,15 @@ let extract (p : Problem.t) st =
 
 let default_iterations std = max 20_000 (50 * (std.m + std.n_cols))
 
+(* VMALLOC_DENSE_LU=1 keeps the revised method but routes basis
+   maintenance through the original dense LU + raw eta file — the
+   factorization-level differential oracle (the whole-solver oracle stays
+   VMALLOC_DENSE_LP=1). Read per solve so tests can toggle it. *)
+let dense_lu_requested () =
+  match Sys.getenv_opt "VMALLOC_DENSE_LU" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
 (* Cold start: classic two-phase. The initial basis is the logical of every
    row whose rhs its bounds admit, else that row's artificial widened to the
    rhs's side ([0, inf) with cost +1, or (-inf, 0] with cost -1) — the
@@ -686,19 +809,19 @@ let solve_cold ~key ~max_iterations (p : Problem.t) std =
     end;
     xb.(i) <- bi
   done;
-  (* The initial basis matrix is the identity (logicals and artificials are
-     unit columns), so its factorization is free. *)
-  let lu0 =
-    Lu.factor m (fun bmat ->
-        for k = 0 to m - 1 do
-          bmat.(k).(k) <- 1.
-        done)
+  (* The initial basis matrix is the identity (logicals and artificials
+     are unit columns), so its factorization is near-free under either
+     backend. Neither is metered — parity with the warm path, where only
+     genuine refactorizations tick the counter. *)
+  let rep =
+    if dense_lu_requested () then
+      Dense
+        { lu = dense_factor_basis std bas;
+          etas = Array.make refactor_every dummy_eta;
+          n_etas = 0 }
+    else Sparse { slu = sparse_factor_basis std bas }
   in
-  let st =
-    { std; bas; stat; xb; lu = lu0;
-      etas = Array.make refactor_every dummy_eta;
-      n_etas = 0 }
-  in
+  let st = { std; bas; stat; xb; rep } in
   if !need_phase1 then begin
     (match
        primal_phase st ~cost:phase1_cost ~iters_counter:c_phase1_iters
@@ -708,6 +831,10 @@ let solve_cold ~key ~max_iterations (p : Problem.t) std =
     | P_unbounded ->
         (* Phase 1 objective is bounded below by 0; cannot happen. *)
         assert false);
+    (* The feasibility verdict below compares xb against a tolerance;
+       canonicalize first so the verdict is a function of the discrete
+       basis, not of the backend's eta history. *)
+    canonicalize_xb st;
     let infeas = ref 0. in
     for i = 0 to m - 1 do
       if st.bas.(i) >= std.art_start then
@@ -725,13 +852,17 @@ let solve_cold ~key ~max_iterations (p : Problem.t) std =
       expel_artificials st;
       match primal_phase st ~cost:std.cost ~max_iterations () with
       | P_unbounded -> (Unbounded, None)
-      | P_optimal -> (extract p st, Some (capture key st))
+      | P_optimal ->
+          canonicalize_xb st;
+          (extract p st, Some (capture key st))
     end
   end
   else
     match primal_phase st ~cost:std.cost ~max_iterations () with
     | P_unbounded -> (Unbounded, None)
-    | P_optimal -> (extract p st, Some (capture key st))
+    | P_optimal ->
+        canonicalize_xb st;
+        (extract p st, Some (capture key st))
 
 exception Incompatible_basis
 
@@ -766,18 +897,22 @@ let solve_warm ~key ~max_iterations (p : Problem.t) std (bz : basis) =
   done;
   if !basic_count <> m then raise Incompatible_basis;
   Obs.Metrics.incr c_refactor;
-  let lu0 =
-    Lu.factor m (fun bmat ->
-        for k = 0 to m - 1 do
-          iter_col std bas.(k) (fun i a -> bmat.(i).(k) <- bmat.(i).(k) +. a)
-        done)
+  let rep =
+    if dense_lu_requested () then begin
+      let lu = dense_factor_basis std bas in
+      Obs.Metrics.add c_lu_flops lu.Lu.flops;
+      Dense
+        { lu; etas = Array.make refactor_every dummy_eta; n_etas = 0 }
+    end
+    else begin
+      let slu = sparse_factor_basis std bas in
+      Obs.Metrics.add c_lu_flops (Sparse_lu.flops slu);
+      Obs.Metrics.add c_fill (Sparse_lu.fill_in slu);
+      Sparse { slu }
+    end
   in
-  let st =
-    { std; bas; stat; xb = Array.make m 0.; lu = lu0;
-      etas = Array.make refactor_every dummy_eta;
-      n_etas = 0 }
-  in
-  compute_xb st;
+  let st = { std; bas; stat; xb = Array.make m 0.; rep } in
+  canonicalize_xb_fresh st;
   (* Bound-flip nonbasics whose reduced cost has the wrong sign for their
      bound; a variable with no opposite finite bound cannot be repaired. *)
   let d = reduced_costs st std.cost in
@@ -794,14 +929,16 @@ let solve_warm ~key ~max_iterations (p : Problem.t) std (bz : basis) =
       incr flips
     end
   done;
-  if !flips > 0 then compute_xb st;
+  if !flips > 0 then canonicalize_xb_fresh st;
   Obs.Metrics.incr c_warm;
   match dual_phase st ~cost:std.cost ~max_iterations with
   | `Infeasible -> (Infeasible, Some (capture key st))
   | `Feasible -> (
       match primal_phase st ~cost:std.cost ~max_iterations () with
       | P_unbounded -> (Unbounded, None)
-      | P_optimal -> (extract p st, Some (capture key st)))
+      | P_optimal ->
+          canonicalize_xb st;
+          (extract p st, Some (capture key st)))
 
 let dense_requested () =
   match Sys.getenv_opt "VMALLOC_DENSE_LP" with
@@ -830,7 +967,7 @@ let solve_basis ?max_iterations ?warm_basis (p : Problem.t) =
       | result -> result
       | exception Iteration_limit ->
           failwith "Lp.Simplex: iteration limit exceeded"
-      | exception Lu.Singular ->
+      | exception (Lu.Singular | Sparse_lu.Singular) ->
           failwith "Lp.Simplex: numerically singular basis"
     in
     match warm_basis with
@@ -838,9 +975,15 @@ let solve_basis ?max_iterations ?warm_basis (p : Problem.t) =
     | Some bz -> (
         match solve_warm ~key ~max_iterations p std bz with
         | result -> result
-        | exception (Incompatible_basis | Iteration_limit | Lu.Singular) ->
+        | exception
+            (Incompatible_basis | Iteration_limit | Lu.Singular
+            | Sparse_lu.Singular) ->
             (* The warm path never widens artificial bounds, so a cold
-               start on the same [std] is safe after any warm failure. *)
+               start on the same [std] is safe after any warm failure.
+               Counted: a nonzero [simplex.warm_fallbacks] on a probe
+               sequence means warm starts are silently degrading to cold
+               solves. *)
+            Obs.Metrics.incr c_warm_fallbacks;
             cold ())
   end
 

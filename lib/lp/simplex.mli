@@ -8,9 +8,20 @@
       ({!Problem.Csc}); finite upper bounds stay {e variable} bounds
       handled by the bounded-variable ratio test (including bound flips),
       never explicit rows;
-    - the basis inverse is a product form: a dense LU of the basis
-      refactorized periodically, times a bounded eta file updated one eta
-      per pivot (counted under [simplex.refactorizations]);
+    - the basis inverse is a product form over a {!Sparse_lu} factor: a
+      Markowitz-ordered sparse LU of the basis (fill-in counted under
+      [simplex.lu_fill_in], factorization work under [simplex.lu_flops]),
+      updated one Forrest–Tomlin row eta per pivot
+      ([simplex.ft_updates]) and refactorized {e adaptively} — after
+      [ft_update_cap] updates, on stored-factor fill growth, or on a
+      degenerate replacement diagonal — counted under
+      [simplex.refactorizations];
+    - at phase boundaries and optimal endpoints the basic solution is
+      recomputed through one fresh canonical factorization, making the
+      returned point a pure function of the final discrete basis: the
+      sparse backend and the dense-LU backend below return
+      bitwise-identical solutions whenever they pivot through the same
+      bases (locked by the differential suite);
     - Dantzig pricing with a permanent switch to Bland's rule after a
       consecutive degenerate-pivot streak (or an iteration budget),
       counted under [simplex.bland_switches];
@@ -22,12 +33,17 @@
       dual feasible for the next and usually a handful of pivots from
       optimal. Successful installs are counted under
       [simplex.warm_starts]; any mismatch or numerical trouble falls back
-      to a cold start, so warm starts can change pivot counts but never
-      verdicts beyond the solver's tolerances.
+      to a cold start (counted under [simplex.warm_fallbacks] — the probe
+      suites assert it stays 0), so warm starts can change pivot counts
+      but never verdicts beyond the solver's tolerances.
 
-    Setting [VMALLOC_DENSE_LP=1] in the environment routes every solve
-    through {!Dense_simplex} (ignoring [?warm_basis]) — the differential
-    escape hatch, also exercised as a CI leg. See DESIGN.md §12. *)
+    Two environment escape hatches, each also a CI leg:
+    [VMALLOC_DENSE_LP=1] routes every solve through {!Dense_simplex}
+    (ignoring [?warm_basis]) — the whole-solver differential oracle; and
+    [VMALLOC_DENSE_LU=1] keeps the revised method but maintains the basis
+    with the original dense LU + raw eta file refactorized every 64
+    pivots — the factorization-level oracle the bit-identity tests
+    compare against. See DESIGN.md §12 and §15. *)
 
 type solution = { objective : float; x : float array }
 

@@ -34,6 +34,14 @@ let rows t = List.rev t.rows_rev
    prints platform-dependent digits for bitwise-equal inputs. *)
 let fmt_float v = Printf.sprintf "%.12g" v
 
+(* JSON has no token for NaN or the infinities — "%.12g nan" would produce
+   a document every strict parser rejects. Non-finite samples (a gauge
+   that divides by an empty interval, say) serialize as [null]; Obs.Json
+   reads that back as [Null], whose [to_num] is [None]. The Prometheus
+   text format has its own NaN/Inf spelling, so [to_prom] keeps the raw
+   value. *)
+let json_float v = if Float.is_finite v then fmt_float v else "null"
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -51,7 +59,7 @@ let to_jsonl t =
   Buffer.add_string buf
     (Printf.sprintf
        "{\"timeline\": {\"interval\": %s, \"samples\": %d, \"cols\": [%s]}}\n"
-       (fmt_float t.interval) t.n_rows
+       (json_float t.interval) t.n_rows
        (String.concat ", "
           (Array.to_list
              (Array.map
@@ -59,12 +67,12 @@ let to_jsonl t =
                 t.cols))));
   List.iter
     (fun (time, values) ->
-      Buffer.add_string buf (Printf.sprintf "{\"t\": %s" (fmt_float time));
+      Buffer.add_string buf (Printf.sprintf "{\"t\": %s" (json_float time));
       Array.iteri
         (fun i v ->
           Buffer.add_string buf
             (Printf.sprintf ", \"%s\": %s" (json_escape t.cols.(i))
-               (fmt_float v)))
+               (json_float v)))
         values;
       Buffer.add_string buf "}\n")
     (rows t);

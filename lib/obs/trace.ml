@@ -60,15 +60,20 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Timestamps come from a monotonic clock and durations from subtraction,
+   but a corrupted or hand-built event must not poison the whole trace
+   file: JSON has no NaN/Inf token, so non-finite values emit [null]. *)
+let json_us v = if Float.is_finite v then Printf.sprintf "%.3f" v else "null"
+
 let event_to_json ev =
   let buf = Buffer.create 128 in
   Buffer.add_string buf
     (Printf.sprintf
        "{\"name\": \"%s\", \"cat\": \"vmalloc\", \"ph\": \"%c\", \"ts\": \
-        %.3f, "
-       (json_escape ev.name) ev.ph ev.ts);
+        %s, "
+       (json_escape ev.name) ev.ph (json_us ev.ts));
   if ev.ph = 'X' then
-    Buffer.add_string buf (Printf.sprintf "\"dur\": %.3f, " ev.dur);
+    Buffer.add_string buf (Printf.sprintf "\"dur\": %s, " (json_us ev.dur));
   if ev.ph = 'i' then Buffer.add_string buf "\"s\": \"t\", ";
   Buffer.add_string buf
     (Printf.sprintf "\"pid\": 0, \"tid\": %d, \"args\": {" ev.tid);

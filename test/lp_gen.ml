@@ -18,20 +18,37 @@
    - [Unbounded]: a feasible base over the first n-1 variables; the last
      variable appears in no constraint, has no upper bound, and carries a
      strictly positive Maximize objective coefficient.
+   - [Banded]: as [Feasible], but each row draws its variables from a
+     narrow window sliding with the row index — the banded structure whose
+     bases reward a fill-in-aware factorization.
+   - [Block_diag]: as [Feasible], but variables are split into diagonal
+     blocks and every row lives inside one block (rows cycle through the
+     blocks), giving disconnected basis structure.
 
    Generation is a pure function of the seed (lib/prng splitmix64), and
    [to_bytes] is a canonical serialization, so "same seed => same problem
-   bytes" is testable literally. *)
+   bytes" is testable literally. The sparse families reuse the dense
+   families' sampling order exactly, so adding them left every existing
+   (family, seed) problem byte-identical. *)
 
-type family = Feasible | Infeasible | Unbounded | Degenerate
+type family =
+  | Feasible
+  | Infeasible
+  | Unbounded
+  | Degenerate
+  | Banded
+  | Block_diag
 
-let all_families = [ Feasible; Infeasible; Unbounded; Degenerate ]
+let all_families =
+  [ Feasible; Infeasible; Unbounded; Degenerate; Banded; Block_diag ]
 
 let family_name = function
   | Feasible -> "feasible"
   | Infeasible -> "infeasible"
   | Unbounded -> "unbounded"
   | Degenerate -> "degenerate"
+  | Banded -> "banded"
+  | Block_diag -> "block_diag"
 
 (* Magnitudes in [0.05, 1]: no near-zero coefficients, so generated pivots
    stay well away from the solvers' pivot tolerances. *)
@@ -51,15 +68,35 @@ let generate ?(density = 0.6) ~seed ~n_vars ~n_cons family =
         if Prng.Rng.uniform rng < 0.5 then x0.(v) <- 0.
       done
   | Unbounded -> x0.(n - 1) <- 0.
-  | Feasible | Infeasible -> ());
+  | Feasible | Infeasible | Banded | Block_diag -> ());
   let avail = match family with Unbounded -> n - 1 | _ -> n in
-  let row () =
+  (* Variable window of row [i]: everything for the dense families, a
+     sliding band or one diagonal block for the sparse ones. [density]
+     still applies inside the window. *)
+  let window i =
+    match family with
+    | Banded ->
+        let band = min avail (max 3 ((avail / 8) + 2)) in
+        let lo =
+          if n_cons <= 1 then 0 else i * (avail - band) / (n_cons - 1)
+        in
+        (lo, lo + band)
+    | Block_diag ->
+        let blocks = max 2 (avail / 5) in
+        let bs = (avail + blocks - 1) / blocks in
+        let lo = i mod blocks * bs in
+        (lo, min avail (lo + bs))
+    | Feasible | Infeasible | Unbounded | Degenerate -> (0, avail)
+  in
+  let row i =
+    let lo, hi = window i in
     let coeffs = ref [] in
-    for v = avail - 1 downto 0 do
+    for v = hi - 1 downto lo do
       if Prng.Rng.uniform rng < density then
         coeffs := (v, coef rng) :: !coeffs
     done;
-    if !coeffs = [] then coeffs := [ (Prng.Rng.int rng avail, coef rng) ];
+    if !coeffs = [] then
+      coeffs := [ (lo + Prng.Rng.int rng (hi - lo), coef rng) ];
     !coeffs
   in
   let constraints = ref [] in
@@ -67,7 +104,7 @@ let generate ?(density = 0.6) ~seed ~n_vars ~n_cons family =
     List.fold_left (fun acc (v, a) -> acc +. (a *. x0.(v))) 0. coeffs
   in
   for i = 0 to n_cons - 1 do
-    let coeffs = row () in
+    let coeffs = row i in
     let base = lhs0 coeffs in
     let name = Printf.sprintf "r%d" i in
     let tight =
@@ -94,7 +131,7 @@ let generate ?(density = 0.6) ~seed ~n_vars ~n_cons family =
           (r +. 1. +. Prng.Rng.uniform rng)
         :: Lp.Problem.c ~name:"contra_le" a Lp.Problem.Le r
         :: !constraints
-  | Feasible | Unbounded | Degenerate -> ());
+  | Feasible | Unbounded | Degenerate | Banded | Block_diag -> ());
   let lower = Array.make n 0. in
   let upper =
     Array.init n (fun v -> x0.(v) +. Prng.Rng.uniform_range rng 0.5 2.)

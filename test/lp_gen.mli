@@ -15,6 +15,13 @@ type family =
   | Degenerate
       (** feasible and bounded, with tight rows and zeroed witness
           coordinates forcing primal degeneracy *)
+  | Banded
+      (** as [Feasible], but each row's variables come from a narrow
+          window sliding with the row index — banded bases, the sparse-LU
+          sweet spot *)
+  | Block_diag
+      (** as [Feasible], but rows cycle through diagonal variable blocks
+          — disconnected basis structure *)
 
 val all_families : family list
 

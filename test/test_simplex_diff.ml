@@ -12,6 +12,11 @@ let dense_env_on () =
   | Some ("1" | "true" | "yes") -> true
   | _ -> false
 
+let dense_lu_env_on () =
+  match Sys.getenv_opt "VMALLOC_DENSE_LU" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
 (* Run [f] with metrics freshly enabled, returning (result, counter reader);
    restores the previous metric state afterwards. *)
 let with_metrics f =
@@ -166,6 +171,10 @@ let test_warm_resolve_agrees () =
               true (basis' <> None);
             Alcotest.(check bool) (ctx ^ ": warm start recorded") true
               (pivots_of' "simplex.warm_starts" > 0);
+            Alcotest.(check int)
+              (ctx ^ ": no silent warm fallback")
+              0
+              (pivots_of' "simplex.warm_fallbacks");
             Alcotest.(check bool)
               (ctx ^ ": warm pivots <= cold pivots")
               true
@@ -222,6 +231,261 @@ let test_dense_escape_hatch () =
         d.objective r.objective
   | _ -> Alcotest.fail "dense leg must match the oracle verdict"
 
+(* ---- Sparse_lu unit layer (DESIGN.md §15) ----------------------------
+
+   factor/ftran/btran/update checked against an independent dense
+   Gaussian-elimination reference on random diagonally-dominant sparse
+   matrices. *)
+
+let dense_solve a b =
+  let m = Array.length a in
+  let w = Array.init m (fun i -> Array.copy a.(i)) in
+  let x = Array.copy b in
+  for k = 0 to m - 1 do
+    let best = ref k in
+    for i = k + 1 to m - 1 do
+      if Float.abs w.(i).(k) > Float.abs w.(!best).(k) then best := i
+    done;
+    let t = w.(k) in
+    w.(k) <- w.(!best);
+    w.(!best) <- t;
+    let xt = x.(k) in
+    x.(k) <- x.(!best);
+    x.(!best) <- xt;
+    for i = k + 1 to m - 1 do
+      let f = w.(i).(k) /. w.(k).(k) in
+      if f <> 0. then begin
+        for j = k to m - 1 do
+          w.(i).(j) <- w.(i).(j) -. (f *. w.(k).(j))
+        done;
+        x.(i) <- x.(i) -. (f *. x.(k))
+      end
+    done
+  done;
+  for k = m - 1 downto 0 do
+    let acc = ref x.(k) in
+    for j = k + 1 to m - 1 do
+      acc := !acc -. (w.(k).(j) *. x.(j))
+    done;
+    x.(k) <- !acc /. w.(k).(k)
+  done;
+  x
+
+let transpose a =
+  let m = Array.length a in
+  Array.init m (fun i -> Array.init m (fun j -> a.(j).(i)))
+
+(* Strictly diagonally dominant, so the matrix and every column
+   replacement below stay comfortably nonsingular. *)
+let random_matrix rng m ~density =
+  let a = Array.init m (fun _ -> Array.make m 0.) in
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      if i <> j && Prng.Rng.uniform rng < density then
+        a.(i).(j) <- Prng.Rng.uniform_range rng (-1.) 1.
+    done;
+    let s = Array.fold_left (fun acc v -> acc +. Float.abs v) 0. a.(i) in
+    a.(i).(i) <- s +. Prng.Rng.uniform_range rng 1. 2.
+  done;
+  a
+
+let factor_dense_cols a =
+  let m = Array.length a in
+  Lp.Sparse_lu.factor ~size:m
+    ~col:(fun j f ->
+      for i = 0 to m - 1 do
+        if a.(i).(j) <> 0. then f i a.(i).(j)
+      done)
+    ()
+
+let check_vec ~ctx expected got =
+  Array.iteri
+    (fun i e ->
+      let tol = 1e-8 *. (1. +. Float.abs e) in
+      if Float.abs (e -. got.(i)) > tol then
+        Alcotest.failf "%s: component %d: expected %.17g, got %.17g" ctx i e
+          got.(i))
+    expected
+
+let test_sparse_lu_solves () =
+  List.iter
+    (fun (m, seed, density) ->
+      let ctx = Printf.sprintf "slu m=%d seed=%d" m seed in
+      let rng = Prng.Rng.create ~seed in
+      let a = random_matrix rng m ~density in
+      let slu = factor_dense_cols a in
+      Alcotest.(check int) (ctx ^ ": size") m (Lp.Sparse_lu.size slu);
+      Alcotest.(check int)
+        (ctx ^ ": nnz = basis + fill")
+        (Lp.Sparse_lu.basis_nnz slu + Lp.Sparse_lu.fill_in slu)
+        (Lp.Sparse_lu.nnz slu);
+      Alcotest.(check int) (ctx ^ ": no updates yet") 0
+        (Lp.Sparse_lu.updates slu);
+      let b = Array.init m (fun _ -> Prng.Rng.uniform_range rng (-2.) 2.) in
+      let v = Array.copy b in
+      Lp.Sparse_lu.ftran slu v;
+      check_vec ~ctx:(ctx ^ " ftran") (dense_solve a b) v;
+      let c = Array.init m (fun _ -> Prng.Rng.uniform_range rng (-2.) 2.) in
+      let y = Array.copy c in
+      Lp.Sparse_lu.btran slu y;
+      check_vec ~ctx:(ctx ^ " btran") (dense_solve (transpose a) c) y)
+    [ (1, 3, 1.0); (2, 4, 0.8); (5, 5, 0.5); (12, 6, 0.3); (25, 7, 0.15) ]
+
+let test_sparse_lu_update () =
+  let m = 14 in
+  let rng = Prng.Rng.create ~seed:9 in
+  let a = random_matrix rng m ~density:0.3 in
+  let slu = factor_dense_cols a in
+  for k = 0 to 7 do
+    let ctx = Printf.sprintf "slu update %d" k in
+    let p = k * 5 mod m in
+    (* New column, kept diagonally heavy at row p. *)
+    let col = Array.make m 0. in
+    for i = 0 to m - 1 do
+      if Prng.Rng.uniform rng < 0.4 then
+        col.(i) <- Prng.Rng.uniform_range rng (-1.) 1.
+    done;
+    col.(p) <- Prng.Rng.uniform_range rng 4. 6.;
+    (* The entering FTRAN both answers B^-1 col and stashes the spike. *)
+    let d = Array.copy col in
+    Lp.Sparse_lu.ftran_entering slu d;
+    check_vec ~ctx:(ctx ^ " entering ftran") (dense_solve a col) d;
+    Lp.Sparse_lu.update slu ~pos:p;
+    for i = 0 to m - 1 do
+      a.(i).(p) <- col.(i)
+    done;
+    Alcotest.(check int) (ctx ^ ": update count") (k + 1)
+      (Lp.Sparse_lu.updates slu);
+    let b = Array.init m (fun _ -> Prng.Rng.uniform_range rng (-2.) 2.) in
+    let v = Array.copy b in
+    Lp.Sparse_lu.ftran slu v;
+    check_vec ~ctx:(ctx ^ " ftran") (dense_solve a b) v;
+    let c = Array.init m (fun _ -> Prng.Rng.uniform_range rng (-2.) 2.) in
+    let y = Array.copy c in
+    Lp.Sparse_lu.btran slu y;
+    check_vec ~ctx:(ctx ^ " btran") (dense_solve (transpose a) c) y
+  done
+
+let test_sparse_lu_singular () =
+  (* A zero column is singular... *)
+  (try
+     ignore
+       (Lp.Sparse_lu.factor ~size:2
+          ~col:(fun j f -> if j = 0 then f 0 1.)
+          ());
+     Alcotest.fail "zero column must raise Singular"
+   with Lp.Sparse_lu.Singular -> ());
+  (* ... as is a duplicated column, whatever its magnitude ... *)
+  (let rng = Prng.Rng.create ~seed:21 in
+   let a = random_matrix rng 6 ~density:0.5 in
+   for i = 0 to 5 do
+     a.(i).(1) <- a.(i).(0)
+   done;
+   try
+     ignore (factor_dense_cols a);
+     Alcotest.fail "duplicate column must raise Singular"
+   with Lp.Sparse_lu.Singular -> ());
+  (* ... but a well-conditioned matrix scaled down to 1e-12 is NOT: the
+     singularity threshold is relative to each column's magnitude (the
+     absolute-threshold regression this PR fixes). *)
+  let rng = Prng.Rng.create ~seed:22 in
+  let a = random_matrix rng 8 ~density:0.4 in
+  let scaled = Array.map (Array.map (fun v -> v *. 1e-12)) a in
+  let slu = factor_dense_cols scaled in
+  let b = Array.init 8 (fun _ -> Prng.Rng.uniform_range rng (-1.) 1.) in
+  let v = Array.copy b in
+  Lp.Sparse_lu.ftran slu v;
+  Array.iteri
+    (fun i e ->
+      let tol = 1e-6 *. (1. +. Float.abs e) in
+      if Float.abs (e -. v.(i)) > tol then
+        Alcotest.failf "scaled ftran: component %d: expected %g, got %g" i e
+          v.(i))
+    (dense_solve scaled b)
+
+(* ---- Factorization-backend bit-identity ------------------------------
+
+   The acceptance bar of the sparse-LU PR: the Markowitz/Forrest-Tomlin
+   backend and the dense-LU backend (VMALLOC_DENSE_LU=1) must return
+   bitwise-identical results — verdict, objective and every coordinate,
+   cold and warm — on every generator family, because both pivot through
+   the same discrete bases and the final point is recomputed through one
+   canonical factorization. Pool fan-out must not change a single bit
+   either. *)
+
+let with_dense_lu_env f =
+  let prev = Sys.getenv_opt "VMALLOC_DENSE_LU" in
+  Unix.putenv "VMALLOC_DENSE_LU" "1";
+  Fun.protect ~finally:(fun () ->
+      Unix.putenv "VMALLOC_DENSE_LU" (Option.value prev ~default:"0"))
+    f
+
+let result_bits = function
+  | Lp.Simplex.Infeasible -> [ 1L ]
+  | Lp.Simplex.Unbounded -> [ 2L ]
+  | Lp.Simplex.Optimal { objective; x } ->
+      3L
+      :: Int64.bits_of_float objective
+      :: Array.to_list (Array.map Int64.bits_of_float x)
+
+(* One problem's full discrete trace: cold solve, then a warm re-solve
+   from the captured basis when one exists. *)
+let solve_trace p =
+  let result, basis = Lp.Simplex.solve_basis p in
+  result_bits result
+  @
+  match basis with
+  | None -> [ 0L ]
+  | Some b -> 4L :: result_bits (Lp.Simplex.solve ~warm_basis:b p)
+
+let bit_corpus =
+  lazy
+    (List.concat_map
+       (fun family ->
+         List.map (fun (s, _, _, p) -> (family, s, p)) (corpus family))
+       Lp_gen.all_families)
+
+let test_backend_bit_identity () =
+  List.iter
+    (fun (family, seed, p) ->
+      let sparse = solve_trace p in
+      let dense_lu = with_dense_lu_env (fun () -> solve_trace p) in
+      Alcotest.(check (list int64))
+        (Printf.sprintf "%s seed=%d: sparse-LU bits = dense-LU bits"
+           (Lp_gen.family_name family) seed)
+        dense_lu sparse)
+    (Lazy.force bit_corpus)
+
+let test_backend_bit_identity_pools () =
+  let input =
+    Array.of_list (List.map (fun (_, _, p) -> p) (Lazy.force bit_corpus))
+  in
+  let traces () =
+    List.map
+      (fun domains ->
+        Par.Pool.with_pool ~domains (fun pool ->
+            Par.Pool.map pool input solve_trace))
+      [ 1; 2; 4 ]
+  in
+  let check_equal ~ctx = function
+    | reference :: rest ->
+        List.iter
+          (fun t ->
+            Alcotest.(check bool) ctx true (t = (reference : int64 list array)))
+          rest;
+        reference
+    | [] -> assert false
+  in
+  let sparse =
+    check_equal ~ctx:"sparse traces pool-size invariant" (traces ())
+  in
+  let dense_lu =
+    with_dense_lu_env (fun () ->
+        check_equal ~ctx:"dense-LU traces pool-size invariant" (traces ()))
+  in
+  Alcotest.(check bool) "sparse = dense-LU at every pool size" true
+    (sparse = dense_lu)
+
 (* Table-1-style probe sequences: the warm-started yield search must agree
    with the cold one on the answer while spending strictly fewer pivots.
    The paper generator scales CPU need to exactly match capacity, so its
@@ -253,6 +517,60 @@ let oversubscribed ~seed ~nodes:n_nodes ~services:n_services ~factor =
   in
   Model.Instance.v ~nodes ~services
 
+(* ---- Relative-singularity regression (the Lu.factor 1e-11 bugfix) ----
+
+   Scale every constraint row of a Table-1-style relaxation down by 1e-12:
+   the feasible region is untouched, but every structural basis column's
+   magnitude drops to ~1e-12. The old absolute threshold declared such
+   bases singular at warm install and silently fell back to a cold solve;
+   the relative threshold must warm-start them — zero fallbacks — and
+   reproduce the cold objective. *)
+
+let scale_rows s (p : Lp.Problem.t) =
+  {
+    p with
+    Lp.Problem.constraints =
+      List.map
+        (fun (c : Lp.Problem.linear_constraint) ->
+          {
+            c with
+            Lp.Problem.coeffs =
+              List.map (fun (v, a) -> (v, a *. s)) c.Lp.Problem.coeffs;
+            rhs = c.Lp.Problem.rhs *. s;
+          })
+        p.Lp.Problem.constraints;
+  }
+
+let test_scaled_rows_warm_start () =
+  if not (dense_env_on ()) then begin
+    let instance = oversubscribed ~seed:5 ~nodes:3 ~services:6 ~factor:2. in
+    let lp, _ = Heuristics.Milp.formulation ~integer:false instance in
+    let p = scale_rows 1e-12 lp in
+    let (cold, basis), _ = with_metrics (fun () -> Lp.Simplex.solve_basis p) in
+    let cobj =
+      match cold with
+      | Lp.Simplex.Optimal c -> c.objective
+      | _ -> Alcotest.fail "scaled relaxation must stay optimal"
+    in
+    let b =
+      match basis with
+      | Some b -> b
+      | None -> Alcotest.fail "scaled cold solve must yield a basis"
+    in
+    let (warm, _), counters =
+      with_metrics (fun () -> Lp.Simplex.solve_basis ~warm_basis:b p)
+    in
+    (match warm with
+    | Lp.Simplex.Optimal w ->
+        Alcotest.(check (float 1e-6)) "scaled warm objective = cold" cobj
+          w.objective
+    | _ -> Alcotest.fail "scaled warm re-solve must stay optimal");
+    Alcotest.(check int) "scaled warm: zero fallbacks" 0
+      (counters "simplex.warm_fallbacks");
+    Alcotest.(check bool) "scaled warm: warm start recorded" true
+      (counters "simplex.warm_starts" > 0)
+  end
+
 let probe_instances =
   lazy
     (List.map
@@ -281,6 +599,15 @@ let test_probe_sequence_warm_vs_cold () =
       if not (dense_env_on ()) then begin
         Alcotest.(check bool) (ctx ^ ": warm starts recorded") true
           (warm_of "simplex.warm_starts" > 0);
+        Alcotest.(check int)
+          (ctx ^ ": no silent warm fallback")
+          0
+          (warm_of "simplex.warm_fallbacks");
+        if not (dense_lu_env_on ()) then
+          Alcotest.(check bool)
+            (ctx ^ ": Forrest-Tomlin updates exercised")
+            true
+            (warm_of "simplex.ft_updates" > 0);
         Alcotest.(check bool)
           (Printf.sprintf "%s: warm pivots %d < cold pivots %d" ctx
              (warm_of "simplex.pivots") (cold_of "simplex.pivots"))
@@ -344,11 +671,19 @@ let suite =
       ("generator determinism", test_generator_deterministic);
       ("feasible family agrees", test_family_optimal Lp_gen.Feasible);
       ("degenerate family agrees", test_family_optimal Lp_gen.Degenerate);
+      ("banded family agrees", test_family_optimal Lp_gen.Banded);
+      ("block-diagonal family agrees", test_family_optimal Lp_gen.Block_diag);
       ("infeasible family agrees", test_family_infeasible);
       ("unbounded family agrees", test_family_unbounded);
       ("warm re-solve agrees", test_warm_resolve_agrees);
       ("pivot regression bound", test_pivot_regression_bound);
       ("dense escape hatch", test_dense_escape_hatch);
+      ("sparse LU solves", test_sparse_lu_solves);
+      ("sparse LU Forrest-Tomlin update", test_sparse_lu_update);
+      ("sparse LU singularity thresholds", test_sparse_lu_singular);
+      ("backend bit identity", test_backend_bit_identity);
+      ("backend bit identity under pools", test_backend_bit_identity_pools);
+      ("scaled rows warm start", test_scaled_rows_warm_start);
       ("probe sequence warm vs cold", test_probe_sequence_warm_vs_cold);
       ("probed rounding deterministic", test_probed_rounding_deterministic);
       ("probe sequence vs dense oracle", test_probe_sequence_vs_dense_oracle);

@@ -51,6 +51,52 @@ let test_container () =
   Obs.Timeline.append t' ~time:2.5 [| 0.75; 3. |];
   Alcotest.(check bool) "equal after same rows" true (Obs.Timeline.equal t t')
 
+(* Non-finite samples: JSON has no NaN/Inf token, so the JSONL emitter
+   must print null — and Obs.Json must read the line back, with the poisoned
+   cells parsing as Null (to_num None) and finite neighbours intact. *)
+let test_container_non_finite () =
+  let t = Obs.Timeline.create ~interval:1. ~cols:[| "good"; "bad" |] in
+  Obs.Timeline.append t ~time:0. [| 0.5; Float.nan |];
+  Obs.Timeline.append t ~time:1. [| 0.25; Float.infinity |];
+  Obs.Timeline.append t ~time:2. [| 0.125; Float.neg_infinity |];
+  let jsonl = Obs.Timeline.to_jsonl t in
+  let lines =
+    String.split_on_char '\n' jsonl |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "header + three samples" 4 (List.length lines);
+  List.iteri
+    (fun i line ->
+      match Obs.Json.parse line with
+      | Error e -> Alcotest.failf "line %d must stay parseable: %s" i e
+      | Ok doc ->
+          if i > 0 then begin
+            let num key =
+              Option.bind (Obs.Json.member key doc) Obs.Json.to_num
+            in
+            Alcotest.(check (option (float 1e-12)))
+              (Printf.sprintf "line %d: finite gauge round-trips" i)
+              (Some (0.5 /. Float.of_int (1 lsl (i - 1))))
+              (num "good");
+            Alcotest.(check bool)
+              (Printf.sprintf "line %d: non-finite gauge is Null" i)
+              true
+              (Obs.Json.member "bad" doc = Some Obs.Json.Null);
+            Alcotest.(check (option (float 1e-12)))
+              (Printf.sprintf "line %d: to_num Null is None" i)
+              None (num "bad")
+          end)
+    lines;
+  (* Chrome-trace events get the same guard on ts/dur. *)
+  Obs.Trace.start ();
+  Fun.protect ~finally:(fun () ->
+      Obs.Trace.stop ();
+      Obs.Trace.reset ())
+  @@ fun () ->
+  Obs.Trace.instant "probe";
+  match Obs.Json.parse (Obs.Trace.to_json ()) with
+  | Error e -> Alcotest.failf "trace JSON must parse: %s" e
+  | Ok _ -> ()
+
 (* ---- Sharded telemetry determinism ---------------------------------- *)
 
 let platform hosts =
@@ -277,6 +323,8 @@ let suite =
     (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
       ("container create/append/serialize", test_container);
+      ("non-finite gauges emit null and round-trip",
+       test_container_non_finite);
       ("sharded timeline identical at 1/2/4 domains x 1/2/4 shards",
        test_sharded_domain_invariant);
       ("pivot clock ticks on LP solves", test_pivot_clock);
