@@ -217,10 +217,139 @@ let trace_folded_term =
                  stack, the format flamegraph.pl and speedscope consume — \
                  and write them to $(docv).")
 
+(* ---- solve --batch --------------------------------------------------- *)
+
+(* One job per non-empty, non-[#] line of the batch file. A line is either
+   a bare instance-file path, or whitespace-separated [key=value] pairs
+   overriding the command-line generator options — [hosts], [services],
+   [cov], [slack], [seed] — plus [algo=NAME] to pick the per-job
+   algorithm. Results come back in line order whatever the pool size. *)
+let parse_batch_line ~(defaults : gen_opts) ~default_algo lineno line =
+  let fail fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m))
+      fmt
+  in
+  let tokens =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  match tokens with
+  | [] -> Ok None
+  | [ path ] when not (String.contains path '=') -> (
+      match Model.Codec.read_file path with
+      | Ok inst -> Ok (Some (default_algo, defaults.seed, inst))
+      | Error e -> fail "cannot read %s: %s" path e)
+  | tokens -> (
+      let parse acc tok =
+        match acc with
+        | Error _ -> acc
+        | Ok (opts, algo) -> (
+            match String.index_opt tok '=' with
+            | None -> fail "bad token %S (expected key=value or a file path)" tok
+            | Some i ->
+                let key = String.lowercase_ascii (String.sub tok 0 i) in
+                let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+                let int_v f =
+                  match int_of_string_opt v with
+                  | Some n -> Ok (f n)
+                  | None -> fail "%s=%S: expected an integer" key v
+                in
+                let float_v f =
+                  match float_of_string_opt v with
+                  | Some x -> Ok (f x)
+                  | None -> fail "%s=%S: expected a number" key v
+                in
+                let opt r = Result.map (fun o -> (o, algo)) r in
+                (match key with
+                | "hosts" -> opt (int_v (fun n -> { opts with hosts = n }))
+                | "services" ->
+                    opt (int_v (fun n -> { opts with services = n }))
+                | "seed" -> opt (int_v (fun n -> { opts with seed = n }))
+                | "cov" -> opt (float_v (fun x -> { opts with cov = x }))
+                | "slack" -> opt (float_v (fun x -> { opts with slack = x }))
+                | "algo" -> Ok (opts, v)
+                | k ->
+                    fail "unknown key %S (expected hosts, services, cov, \
+                          slack, seed, or algo)" k))
+      in
+      match List.fold_left parse (Ok (defaults, default_algo)) tokens with
+      | Error _ as e -> e
+      | Ok (opts, algo) -> (
+          match generate_instance opts with
+          | inst -> Ok (Some (algo, opts.seed, inst))
+          | exception Invalid_argument e -> fail "%s" e))
+
+let load_batch_jobs ~defaults ~default_algo path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let rec go lineno acc =
+    match input_line ic with
+    | exception End_of_file -> Ok (List.rev acc)
+    | line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go (lineno + 1) acc
+        else
+          match parse_batch_line ~defaults ~default_algo lineno line with
+          | Error _ as e -> e
+          | Ok None -> go (lineno + 1) acc
+          | Ok (Some (algo_name, seed, inst)) -> (
+              match Heuristics.Algorithms.by_name ~seed algo_name with
+              | None ->
+                  Error
+                    (Printf.sprintf "line %d: %s" lineno
+                       (unknown_algorithm algo_name))
+              | Some algo ->
+                  go (lineno + 1)
+                    ({ Heuristics.Batch.algo; instance = inst } :: acc))
+  in
+  go 1 []
+
+let run_batch ~jobs ~domains ~depth =
+  let jobs = Array.of_list jobs in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Par.Pool.with_pool ~domains (fun pool ->
+        let sched = Par.Scheduler.create ~pool in
+        Heuristics.Batch.solve_batch ?depth ~sched jobs)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Array.iteri
+    (fun i result ->
+      match result with
+      | Some (sol : Heuristics.Vp_solver.solution) ->
+          Printf.printf "[%d] %s: minimum yield %.4f\n" i
+            jobs.(i).Heuristics.Batch.algo.name sol.min_yield
+      | None ->
+          Printf.printf "[%d] %s: no feasible placement\n" i
+            jobs.(i).Heuristics.Batch.algo.name)
+    results;
+  Printf.printf "%d jobs on %d domain(s): %.3fs total, %.3fs/job\n"
+    (Array.length jobs) domains dt
+    (dt /. float_of_int (max 1 (Array.length jobs)))
+
 let solve_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ]
            ~doc:"Print per-service yields and the placement.")
+  in
+  let batch =
+    Arg.(value & opt (some file) None
+         & info [ "batch" ] ~docv:"FILE"
+             ~doc:"Solve a multi-tenant batch over one shared domain pool: \
+                   one job per non-empty, non-# line of $(docv) — either a \
+                   bare instance-file path or key=value overrides (hosts, \
+                   services, cov, slack, seed, algo) of this command's \
+                   options. Probe rounds of all jobs interleave on the \
+                   pool; results print in line order and are bit-identical \
+                   to solving each line separately.")
+  in
+  let depth =
+    Arg.(value & opt (some int) None
+         & info [ "depth" ] ~docv:"M"
+             ~doc:"With --batch: force the speculation depth of every \
+                   yield-search round instead of the adaptive cost-model \
+                   choice (results are bit-identical at any value).")
   in
   let domains =
     Arg.(value & opt int 1
@@ -238,84 +367,112 @@ let solve_cmd =
                    chrome://tracing or Perfetto).")
   in
   let run file opts algo_name verbose domains stats trace trace_folded
-      stats_out =
-    match load_or_generate file opts with
+      stats_out batch depth =
+    match check_domains domains with
     | Error e -> `Error (false, e)
-    | Ok inst -> (
-        match Heuristics.Algorithms.by_name ~seed:opts.seed algo_name with
-        | None -> `Error (false, unknown_algorithm algo_name)
-        | Some algo -> (
-            match check_domains domains with
-            | Error e -> `Error (false, e)
-            | Ok domains -> (
-                match
-                  register_sinks
-                    [
-                      (trace, fun () -> Obs.Trace.to_json ());
-                      (trace_folded, fun () -> Obs.Trace.to_folded ());
-                      ( stats_out,
-                        fun () ->
-                          Obs.Metrics.Snapshot.to_json
-                            (Obs.Metrics.snapshot ()) );
-                    ]
-                with
+    | Ok domains -> (
+        match
+          register_sinks
+            [
+              (trace, fun () -> Obs.Trace.to_json ());
+              (trace_folded, fun () -> Obs.Trace.to_folded ());
+              ( stats_out,
+                fun () ->
+                  Obs.Metrics.Snapshot.to_json (Obs.Metrics.snapshot ()) );
+            ]
+        with
+        | Error e -> `Error (false, e)
+        | Ok () -> (
+            if stats || stats_out <> None then begin
+              Obs.Metrics.reset ();
+              Obs.Metrics.set_enabled true
+            end;
+            let tracing = trace <> None || trace_folded <> None in
+            if tracing then Obs.Trace.start ();
+            let finish () =
+              if stats then print_stats ();
+              if tracing then Obs.Trace.stop ();
+              flush_sinks ();
+              Option.iter
+                (fun path ->
+                  Printf.eprintf "wrote trace %s (%d events)\n%!" path
+                    (Obs.Trace.event_count ()))
+                trace;
+              Option.iter
+                (fun path ->
+                  Printf.eprintf "wrote folded stacks %s\n%!" path)
+                trace_folded;
+              Option.iter
+                (fun path -> Printf.eprintf "wrote stats %s\n%!" path)
+                stats_out;
+              `Ok ()
+            in
+            match batch with
+            | Some batch_file -> (
+                if file <> None then
+                  `Error
+                    ( false,
+                      "--batch and a positional INSTANCE are mutually \
+                       exclusive (reference instance files from the batch \
+                       lines instead)" )
+                else
+                  match
+                    load_batch_jobs ~defaults:opts ~default_algo:algo_name
+                      batch_file
+                  with
+                  | Error e -> `Error (false, e)
+                  | Ok [] ->
+                      `Error
+                        (false, Printf.sprintf "%s: no jobs" batch_file)
+                  | Ok jobs ->
+                      run_batch ~jobs ~domains ~depth;
+                      finish ())
+            | None -> (
+                match load_or_generate file opts with
                 | Error e -> `Error (false, e)
-                | Ok () ->
-                    if stats || stats_out <> None then begin
-                      Obs.Metrics.reset ();
-                      Obs.Metrics.set_enabled true
-                    end;
-                    let tracing = trace <> None || trace_folded <> None in
-                    if tracing then Obs.Trace.start ();
-                    let solve () =
-                      if domains > 1 then
-                        Par.Pool.with_pool ~domains (fun pool ->
-                            algo.solve ~pool inst)
-                      else algo.solve inst
-                    in
-                    let t0 = Sys.time () in
-                    let result = solve () in
-                    let dt = Sys.time () -. t0 in
-                    (match result with
-                    | None ->
-                        Printf.printf "%s: no feasible placement (%.3fs)\n"
-                          algo.name dt
-                    | Some sol ->
-                        Printf.printf "%s: minimum yield %.4f (%.3fs)\n"
-                          algo.name sol.min_yield dt;
-                        if verbose then begin
-                          match
-                            Model.Placement.water_fill inst sol.placement
-                          with
-                          | None -> ()
-                          | Some alloc ->
-                              print_string (Model.Report.render inst alloc)
-                        end);
-                    if stats then print_stats ();
-                    if tracing then Obs.Trace.stop ();
-                    flush_sinks ();
-                    Option.iter
-                      (fun path ->
-                        Printf.eprintf "wrote trace %s (%d events)\n%!" path
-                          (Obs.Trace.event_count ()))
-                      trace;
-                    Option.iter
-                      (fun path ->
-                        Printf.eprintf "wrote folded stacks %s\n%!" path)
-                      trace_folded;
-                    Option.iter
-                      (fun path -> Printf.eprintf "wrote stats %s\n%!" path)
-                      stats_out;
-                    `Ok ())))
+                | Ok inst -> (
+                    match
+                      Heuristics.Algorithms.by_name ~seed:opts.seed algo_name
+                    with
+                    | None -> `Error (false, unknown_algorithm algo_name)
+                    | Some algo ->
+                        let solve () =
+                          if domains > 1 then
+                            Par.Pool.with_pool ~domains (fun pool ->
+                                algo.solve ~pool inst)
+                          else algo.solve inst
+                        in
+                        let t0 = Sys.time () in
+                        let result = solve () in
+                        let dt = Sys.time () -. t0 in
+                        (match result with
+                        | None ->
+                            Printf.printf
+                              "%s: no feasible placement (%.3fs)\n" algo.name
+                              dt
+                        | Some sol ->
+                            Printf.printf "%s: minimum yield %.4f (%.3fs)\n"
+                              algo.name sol.min_yield dt;
+                            if verbose then begin
+                              match
+                                Model.Placement.water_fill inst sol.placement
+                              with
+                              | None -> ()
+                              | Some alloc ->
+                                  print_string
+                                    (Model.Report.render inst alloc)
+                            end);
+                        finish ()))))
   in
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Place services with one algorithm (--domains > 1 runs the \
-             yield search's probes in parallel; --stats / --stats-out / \
-             --trace / --trace-folded observe the run).")
+             yield search's probes in parallel; --batch multiplexes many \
+             jobs over one pool; --stats / --stats-out / --trace / \
+             --trace-folded observe the run).")
     Term.(ret (const run $ instance_file_term $ gen_opts_term $ algo_term
                $ verbose $ domains $ stats_term $ trace $ trace_folded_term
-               $ stats_out_term))
+               $ stats_out_term $ batch $ depth))
 
 (* compare *)
 

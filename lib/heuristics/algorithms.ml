@@ -1,27 +1,36 @@
+type kind =
+  | Yield_search of Packing.Strategy.t list
+  | Direct
+
 type t = {
   name : string;
+  kind : kind;
   solve : ?pool:Par.Pool.t -> Model.Instance.t -> Vp_solver.solution option;
 }
 
 (* Algorithms with no yield binary search ignore the pool. *)
 let no_pool solve ?pool:_ instance = solve instance
 
-let metagreedy = { name = "METAGREEDY"; solve = no_pool Greedy.metagreedy }
+let metagreedy =
+  { name = "METAGREEDY"; kind = Direct; solve = no_pool Greedy.metagreedy }
 
 let metavp =
   { name = "METAVP";
+    kind = Yield_search Packing.Strategy.vp_all;
     solve =
       (fun ?pool instance ->
         Vp_solver.solve_multi ?pool Packing.Strategy.vp_all instance) }
 
 let metahvp =
   { name = "METAHVP";
+    kind = Yield_search Packing.Strategy.hvp_all;
     solve =
       (fun ?pool instance ->
         Vp_solver.solve_multi ?pool Packing.Strategy.hvp_all instance) }
 
 let metahvplight =
   { name = "METAHVPLIGHT";
+    kind = Yield_search Packing.Strategy.hvp_light;
     solve =
       (fun ?pool instance ->
         Vp_solver.solve_multi ?pool Packing.Strategy.hvp_light instance) }
@@ -29,6 +38,7 @@ let metahvplight =
 let rrnd ~seed =
   {
     name = "RRND";
+    kind = Direct;
     solve =
       no_pool (fun instance ->
           Rounding.rrnd ~rng:(Prng.Rng.create ~seed) instance);
@@ -37,6 +47,7 @@ let rrnd ~seed =
 let rrnz ~seed =
   {
     name = "RRNZ";
+    kind = Direct;
     solve =
       no_pool (fun instance ->
           Rounding.rrnz ~rng:(Prng.Rng.create ~seed) instance);
@@ -45,6 +56,7 @@ let rrnz ~seed =
 let rrnd_probed ~seed =
   {
     name = "RRND-PROBED";
+    kind = Direct;
     solve =
       no_pool (fun instance ->
           Rounding.rrnd_probed ~rng:(Prng.Rng.create ~seed) instance);
@@ -53,6 +65,7 @@ let rrnd_probed ~seed =
 let rrnz_probed ~seed =
   {
     name = "RRNZ-PROBED";
+    kind = Direct;
     solve =
       no_pool (fun instance ->
           Rounding.rrnz_probed ~rng:(Prng.Rng.create ~seed) instance);
@@ -61,6 +74,7 @@ let rrnz_probed ~seed =
 let exact_milp ?node_limit () =
   {
     name = "MILP";
+    kind = Direct;
     solve =
       no_pool (fun instance ->
           match Milp.solve_exact ?node_limit instance with
@@ -70,6 +84,7 @@ let exact_milp ?node_limit () =
 
 let single_vp strategy =
   { name = Packing.Strategy.name strategy;
+    kind = Yield_search [ strategy ];
     solve =
       (fun ?pool instance -> Vp_solver.solve ?pool strategy instance) }
 
@@ -78,6 +93,7 @@ let single_greedy sort place =
     name =
       Printf.sprintf "GREEDY-%s/%s" (Greedy.sort_name sort)
         (Greedy.place_name place);
+    kind = Direct;
     solve = no_pool (Greedy.solve sort place);
   }
 

@@ -3,15 +3,25 @@
     Every placement algorithm of the paper behind one signature, so the
     experiment harness, CLI, and benches can treat them interchangeably. *)
 
+type kind =
+  | Yield_search of Packing.Strategy.t list
+      (** a yield binary search whose probe tries the strategies in
+          order — steppable, so the batched driver ({!Batch}) can
+          interleave its rounds with other requests' *)
+  | Direct  (** runs start-to-finish as one opaque task *)
+
 type t = {
   name : string;
+  kind : kind;
   solve : ?pool:Par.Pool.t -> Model.Instance.t -> Vp_solver.solution option;
 }
 (** [solve ?pool instance]: with a [pool] of size > 1 the binary-search
     algorithms (METAVP / METAHVP / METAHVPLIGHT and {!single_vp}) run
     their yield search speculatively over the pool
     ({!Binary_search.maximize_par}) — the result is bit-identical at any
-    pool size. Algorithms without a yield search ignore the pool. *)
+    pool size. Algorithms without a yield search ignore the pool.
+    [kind] describes the same split structurally, for drivers that need
+    to step the search themselves rather than call [solve]. *)
 
 val metagreedy : t
 (** Best of the 49 greedy combinations (§3.4). *)

@@ -14,7 +14,15 @@
     that is bit-identical to the sequential one must probe the {e same}
     points and take the {e same} branch decisions — speculation over the
     bisection tree is exactly that, trading wasted off-path probes (on
-    otherwise idle domains) for ⌈log₂(k+1)⌉ bracket levels per round. *)
+    otherwise idle domains) for several bracket levels per round. The
+    speculation {e depth} — how many future levels one round precomputes —
+    only sizes the fan, never the on-path points, so it is a free parameter:
+    fixed at ⌈log₂(k+1)⌉ by default, forceable per call, or chosen by the
+    measured cost model ({!adaptive_depth}) under the batched scheduler.
+
+    {!plan} exposes the same search as a steppable state machine so
+    {!Par.Scheduler} can interleave many searches' rounds; {!maximize_par}
+    is a single-request driver over it. *)
 
 val default_tolerance : float
 (** 1e-4, the paper's threshold. *)
@@ -48,23 +56,81 @@ val maximize_warm :
     yield probes ({!Milp.relaxed_yield_search}): probe [k+1] re-optimizes
     from probe [k]'s basis instead of solving from scratch. *)
 
+val levels_for : pool_size:int -> int
+(** ⌈log₂(k+1)⌉ (at least 1): the bisection levels one k-domain round can
+    resolve — the default speculation depth. *)
+
+val adaptive_depth : pool_size:int -> occupancy:int -> remaining:int -> int
+(** Cost-model speculation depth (DESIGN.md §16): with [occupancy] live
+    requests sharing a [pool_size]-domain pool, a request's fair share is
+    [pool_size / occupancy] slots; depth [m] then costs
+    [ceil((2^m - 1) / share)] waves of probe work (at the per-probe cost
+    {!Obs.Cost} measured from previous rounds) plus one round's dispatch
+    overhead, and resolves [m] levels — the depth with the best
+    levels-per-second rate wins, clamped to [\[1, remaining\]]. Before the
+    first cost sample it falls back to [levels_for share]. Depth never
+    affects which points are probed, only how many are precomputed, so
+    any choice preserves bit-identity. *)
+
+type 'a plan
+(** A steppable speculative yield search over oracles of type
+    [float -> 'a option] — the state machine {!maximize_par} drives alone
+    and {!Par.Scheduler} interleaves across many requests. *)
+
+val plan :
+  ?tolerance:float ->
+  ?on_round:(float array -> unit) ->
+  depth:(remaining:int -> int) ->
+  unit ->
+  'a plan
+(** A fresh search. [depth ~remaining] is consulted once per bisect round
+    with the number of levels still separating the bracket from the
+    tolerance; its result is clamped to [\[1, remaining\]] (the
+    remaining-levels cap keeps final rounds from fanning out candidates no
+    resolution path can consume). Counters are shared with the sequential
+    search ([binary_search.rounds/probes]), plus
+    [binary_search.speculative_waste] for discarded off-path probes and
+    the [binary_search.depth] histogram of chosen depths. *)
+
+val plan_next : 'a plan -> prev:'a option array -> float array option
+(** Consume the verdicts of the outstanding batch (pass [~prev:[||]] on
+    the first call) and emit the next batch of candidate yields, or
+    [None] when the search is finished. The caller must evaluate {e all}
+    returned points with the pure oracle and pass the verdicts, in point
+    order, to the next call — raising [Invalid_argument] on a length
+    mismatch. Batches replay the sequential probe path exactly:
+    [[|1.|]], then [[|0.|]], then speculative fans in heap order. *)
+
+val plan_result : 'a plan -> ('a * float) option
+(** The search outcome — meaningful once {!plan_next} returned [None]:
+    the solution at the highest successful probe, or [None] when yield 0
+    already failed. *)
+
+val plan_finished : 'a plan -> bool
+
 val maximize_par :
   ?tolerance:float ->
   ?on_round:(float array -> unit) ->
+  ?depth:int ->
   pool:Par.Pool.t ->
   (float -> 'a option) ->
   ('a * float) option
 (** [maximize_par ~pool oracle] returns bit-identical results to
     {!maximize} at the same tolerance, in fewer oracle rounds: each round
-    fans the 2^m - 1 candidate yields of the next m = ⌈log₂(size+1)⌉
-    bisection levels over the pool ({!Par.Pool.map}) and walks the
-    sequential probe path through the precomputed results, so the bracket
-    shrinks by 2^m ≥ size+1 per round instead of 2. Identity holds for any
-    {e pure} oracle — candidate points are computed with the sequential
-    midpoint arithmetic, branch decisions replay the sequential ones, and
-    off-path speculative results are discarded. Oracles are evaluated
-    concurrently, so they must be thread-safe as well as pure; if one
-    raises, the first exception (in claim order) is re-raised after the
-    round's in-flight probes finish and the pool remains usable. A pool of
-    size 1 degenerates to the sequential probe sequence exactly. [on_round]
-    is called once per round with the round's candidate yields. *)
+    fans the candidate yields of the next [m] bisection levels over the
+    pool ({!Par.Pool.map}) and walks the sequential probe path through the
+    precomputed results, so the bracket shrinks by [2^m] per round instead
+    of 2. [m] defaults to [levels_for ~pool_size] and is capped by the
+    levels actually remaining; [?depth] forces it (clamped below at 1) —
+    any value yields the same result, only round counts and speculative
+    waste change, which the forced-depth differential sweep locks.
+    Identity holds for any {e pure} oracle — candidate points are computed
+    with the sequential midpoint arithmetic, branch decisions replay the
+    sequential ones, and off-path speculative results are discarded.
+    Oracles are evaluated concurrently, so they must be thread-safe as
+    well as pure; if one raises, the first exception (in claim order) is
+    re-raised after the round's in-flight probes finish and the pool
+    remains usable. A pool of size 1 degenerates to the sequential probe
+    sequence exactly. [on_round] is called once per round with the round's
+    candidate yields. Every executed round feeds the {!Obs.Cost} model
+    {!adaptive_depth} reads. *)

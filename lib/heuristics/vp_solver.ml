@@ -99,11 +99,13 @@ let probe_multi strategies instance y =
    almost nothing by leaving it off — and keeps its outputs bit-identical
    to the naive path. *)
 type kernel = {
-  k_instance : Model.Instance.t;
+  mutable k_instance : Model.Instance.t;
+      (* mutable: scratch-pool rebinding re-points a retired solve's
+         kernel at the next solve's instance *)
   k_items : Packing.Item.t array;
   k_bins : Packing.Bin.t array;
   k_cache : Packing.Strategy.cache;
-  k_fail : float array;
+  mutable k_fail : float array;
       (* per strategy: lowest yield this solve has seen it fail at *)
   mutable k_yield : float;  (* yield k_items currently hold; nan = none *)
 }
@@ -138,25 +140,130 @@ let refill k yld =
     k.k_yield <- yld
   end
 
-(* Per-domain kernel slot. The speculative probe search evaluates one
-   solve's probes on several domains at once, so the scratch must be
-   domain-local; a single global DLS key holding the latest solve's kernel
-   (keyed by a unique per-solve token) keeps it single-writer without
-   locks and without growing domain-local storage per solve. Results are
-   domain-count independent — every kernel computes the same bits — only
-   the pruning/memo *hit* counters can vary with probe-task placement,
-   like [binary_search.speculative_waste] already does. *)
-let kernel_slot : (int * kernel) option Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> None)
+(* Per-domain kernel scratch pools (DESIGN.md §16). The speculative probe
+   search evaluates one solve's probes on several domains at once, so the
+   scratch must be domain-local; under the batched scheduler many
+   concurrent solves (tokens) additionally interleave on every domain, so
+   each domain keeps a small token-keyed working set instead of PR 5's
+   single latest-solve slot — and a free list of kernels whose solves
+   have retired, to be *rebound* to the next same-shaped solve instead of
+   allocated afresh. Results are domain-count independent — every kernel,
+   fresh or rebound, computes the same bits (rebinding restores exactly
+   the freshly-made state: [Bin.rebind] bins, [Strategy.cache_reset]
+   memos, pristine failure table, no held yield) — only the reuse/memo
+   *hit* counters can vary with probe-task placement, like
+   [binary_search.speculative_waste] already does. *)
+type kernel_pool = {
+  mutable entries : (int * kernel) list;  (* most recent solve first *)
+  mutable free : kernel list;  (* retired kernels awaiting rebinding *)
+}
+
+(* Working-set bound per domain: above the live-token count of any sane
+   batch, so eviction is a memory backstop for long-lived processes that
+   never retire tokens (standalone solves), not a churn mechanism —
+   keeping it comfortably above the trial counts of the byte-identity
+   tests also keeps eviction (whose count depends on task placement) out
+   of their snapshots. *)
+let entries_cap = 64
+let free_cap = 32
+
+let kernel_pools : kernel_pool Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { entries = []; free = [] })
 
 let solve_tokens = Atomic.make 0
 
+(* Retired solve tokens, published by the batched driver when a request
+   completes. Domains cannot reach into each other's domain-local pools,
+   so retirement is a shared mark that every domain applies lazily (on
+   its next kernel miss), moving dead entries to its free list. Bounded:
+   a full table is dropped wholesale — losing pending marks only delays
+   reuse until the entries cap evicts, it never affects results. *)
+let retired : (int, unit) Hashtbl.t = Hashtbl.create 64
+let retired_mutex = Mutex.create ()
+let retired_cap = 8192
+
+let retire_token token =
+  Mutex.lock retired_mutex;
+  if Hashtbl.length retired >= retired_cap then Hashtbl.reset retired;
+  Hashtbl.replace retired token ();
+  Mutex.unlock retired_mutex
+
+let sweep_retired pool =
+  if pool.entries <> [] then begin
+    Mutex.lock retired_mutex;
+    let dead, live =
+      List.partition (fun (t, _) -> Hashtbl.mem retired t) pool.entries
+    in
+    Mutex.unlock retired_mutex;
+    if dead <> [] then begin
+      pool.entries <- live;
+      List.iter
+        (fun (_, k) ->
+          if List.length pool.free < free_cap then pool.free <- k :: pool.free)
+        dead
+    end
+  end
+
+let c_scratch = Obs.Metrics.counter "scheduler.scratch_reuses"
+
+let shape_matches k instance =
+  Array.length k.k_items = Model.Instance.n_services instance
+  && Array.length k.k_bins = Model.Instance.n_nodes instance
+  && (Array.length k.k_bins = 0
+     || Packing.Bin.dim k.k_bins.(0) = instance.Model.Instance.dims)
+
+(* Restore a recycled kernel to exactly the state [make_kernel] would
+   build for [instance]: re-point the bins at the new nodes' capacities,
+   drop every sort/permutation memo (the bin memos alias the old bins),
+   reset the failure table, and forget the held yield so the first probe
+   refills the item demands from the new instance's buffers. *)
+let rebind_kernel k instance ~n_strategies =
+  k.k_instance <- instance;
+  Array.iteri
+    (fun h (b : Packing.Bin.t) ->
+      Packing.Bin.rebind b
+        ~capacity:(Model.Instance.node instance h).Model.Node.capacity)
+    k.k_bins;
+  Packing.Strategy.cache_reset k.k_cache;
+  let n = max 1 n_strategies in
+  if Array.length k.k_fail = n then
+    Array.fill k.k_fail 0 n infinity
+  else k.k_fail <- Array.make n infinity;
+  k.k_yield <- Float.nan
+
+let take_free pool instance =
+  let rec go acc = function
+    | [] -> None
+    | k :: rest when shape_matches k instance ->
+        pool.free <- List.rev_append acc rest;
+        Some k
+    | k :: rest -> go (k :: acc) rest
+  in
+  go [] pool.free
+
+let evict_oldest pool =
+  match List.rev pool.entries with
+  | [] -> ()
+  | (_, k) :: rev_rest ->
+      pool.entries <- List.rev rev_rest;
+      if List.length pool.free < free_cap then pool.free <- k :: pool.free
+
 let kernel_for ~token instance ~n_strategies =
-  match Domain.DLS.get kernel_slot with
-  | Some (t, k) when t = token -> k
-  | _ ->
-      let k = make_kernel instance ~n_strategies in
-      Domain.DLS.set kernel_slot (Some (token, k));
+  let pool = Domain.DLS.get kernel_pools in
+  match List.assoc_opt token pool.entries with
+  | Some k -> k
+  | None ->
+      sweep_retired pool;
+      if List.length pool.entries >= entries_cap then evict_oldest pool;
+      let k =
+        match take_free pool instance with
+        | Some k ->
+            rebind_kernel k instance ~n_strategies;
+            Obs.Metrics.incr c_scratch;
+            k
+        | None -> make_kernel instance ~n_strategies
+      in
+      pool.entries <- (token, k) :: pool.entries;
       k
 
 let attempt_kernel k strategy ~prune ~index ~yld =
@@ -274,6 +381,21 @@ let solve ?tolerance ?pool ?on_round ?kernel strategy instance =
     else probe_single strategy instance
   in
   search ?tolerance ?pool ?on_round oracle |> finish instance
+
+(* Oracle factory for the batched solve driver ({!Batch}): the same
+   probe path [solve_multi] uses, but handed out raw so a
+   {!Binary_search.plan} can be stepped by {!Par.Scheduler}, plus the
+   retirement hook that releases the solve's kernels into the per-domain
+   free pools once the request completes. *)
+let batch_oracle ?kernel ?prune strategies instance =
+  if use_kernel kernel then begin
+    let token = Atomic.fetch_and_add solve_tokens 1 in
+    ( probe_multi_kernel ~token ~prune:(use_prune prune) strategies
+        ~n_strategies:(List.length strategies)
+        instance,
+      fun () -> retire_token token )
+  end
+  else (probe_multi strategies instance, fun () -> ())
 
 let solve_multi ?tolerance ?pool ?on_round ?kernel ?prune strategies instance =
   Obs.Trace.span "solve_multi"

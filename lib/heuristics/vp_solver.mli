@@ -74,6 +74,25 @@ val solve_multi :
     the mode trades the bit-identity guarantee for the skipped
     attempts. *)
 
+val batch_oracle :
+  ?kernel:bool ->
+  ?prune:bool ->
+  Packing.Strategy.t list ->
+  Model.Instance.t ->
+  (float -> Model.Placement.t option) * (unit -> unit)
+(** The raw fixed-yield probe oracle behind {!solve_multi} (kernel-backed
+    unless disabled, see {!solve}) together with its retirement hook, for
+    callers that drive the yield search themselves — the batched solve
+    driver ({!Batch}) stepping a {!Binary_search.plan} under
+    {!Par.Scheduler}. Call the hook exactly once, after the last probe:
+    it releases the solve's per-domain kernel scratch into the domain
+    free pools, from which a later same-shaped solve is {e rebound}
+    instead of allocated (counted on [scheduler.scratch_reuses]);
+    rebinding restores a freshly-built kernel's state exactly, so reuse
+    never changes results. Standalone {!solve}/{!solve_multi} never
+    retire — their kernels age out of the bounded per-domain working set
+    instead — keeping their counter totals domain-count invariant. *)
+
 val evaluate : Model.Instance.t -> Model.Placement.t -> solution option
 (** Water-fill a placement into a [solution] (shared by greedy and rounding
     algorithms). *)

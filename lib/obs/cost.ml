@@ -1,0 +1,34 @@
+(* Measured cost model for speculative schedulers (DESIGN.md §16).
+
+   One global EWMA of the wall cost per scheduled task, fed by every pool
+   round the speculative yield search and the batched solve scheduler run.
+   The estimate steers only *how much* work a round precomputes
+   (speculation depth), never *which* points are probed, so readers can
+   consume a wall-clock quantity without breaking bit-identity — the same
+   contract the trace subsystem already relies on. *)
+
+let alpha = 0.2
+
+(* 0. doubles as "no sample yet": a real per-task cost of exactly 0 ns is
+   not observable from a microsecond clock. *)
+let state = Atomic.make 0.
+
+let observe ~tasks ~elapsed_ns =
+  if tasks > 0 && elapsed_ns > 0. then begin
+    let per = elapsed_ns /. float_of_int tasks in
+    let rec update () =
+      let prev = Atomic.get state in
+      let next =
+        if prev = 0. then per else (alpha *. per) +. ((1. -. alpha) *. prev)
+      in
+      if not (Atomic.compare_and_set state prev next) then update ()
+    in
+    update ()
+  end
+
+let estimate_ns () =
+  match Atomic.get state with 0. -> None | c -> Some c
+
+let reset () = Atomic.set state 0.
+
+let now_ns () = Unix.gettimeofday () *. 1e9

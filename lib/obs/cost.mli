@@ -1,0 +1,25 @@
+(** Measured per-task cost model (EWMA) for speculative schedulers.
+
+    {!Par.Scheduler} and {!Binary_search.maximize_par} feed the wall cost
+    of every pool round here; the adaptive speculation-depth policy reads
+    the estimate back to decide how many future bisection levels one round
+    should precompute (DESIGN.md §16). The estimate influences the amount
+    of speculative work only — never the probe points or branch decisions
+    — so consuming a wall-clock quantity cannot break result
+    bit-identity. *)
+
+val observe : tasks:int -> elapsed_ns:float -> unit
+(** Fold one round of [tasks] tasks that took [elapsed_ns] wall time into
+    the EWMA (per-task cost, smoothing factor 0.2). Rounds with no tasks
+    or a non-positive elapsed time are ignored. Thread-safe. *)
+
+val estimate_ns : unit -> float option
+(** Current per-task cost estimate in nanoseconds, or [None] before the
+    first observation (callers should fall back to a cost-oblivious
+    depth). *)
+
+val reset : unit -> unit
+(** Forget all samples (tests). *)
+
+val now_ns : unit -> float
+(** Wall clock in nanoseconds — the time base {!observe} expects. *)

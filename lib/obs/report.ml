@@ -38,6 +38,7 @@ let gated_suffixes =
     ".vp_solver.oracle_calls";
     ".vp_solver.strategy_attempts";
     ".binary_search.rounds";
+    ".rounds_interleaved";
   ]
 
 let gated key =
@@ -124,6 +125,26 @@ let collect (j : Json.t) =
             e
       | _ -> ())
     (Json.to_list (block "online"));
+  (* batch: multi-tenant scheduler round counts. [rounds_interleaved] is
+     deterministic only when tenants >= domains — occupancy then pins the
+     adaptive speculation depth to 1, so the round count is a pure
+     function of the request list. With spare pool capacity the depth
+     choice may legitimately move with the measured probe cost, so those
+     combos contribute only the ungated ratio metrics. *)
+  List.iter
+    (fun e ->
+      match (num "tenants" e, num "domains" e) with
+      | Some t, Some d ->
+          let prefix =
+            Printf.sprintf "batch.t%d.d%d" (int_of_float t) (int_of_float d)
+          in
+          add_fields prefix [ "round_speedup"; "throughput_speedup" ] e;
+          if t >= d then
+            add_fields prefix
+              [ "serial_rounds"; "rounds_interleaved"; "speculative_waste" ]
+              e
+      | _ -> ())
+    (Json.to_list (block "batch"));
   (* obs: per-algorithm counter snapshots and the metrics overhead ratio *)
   let obs = block "obs" in
   List.iter

@@ -32,6 +32,30 @@ let worker_loop pool =
   in
   next ()
 
+(* The pool whose [map] is currently executing a task on this domain, if
+   any. A task that calls [map] on the same pool again would deadlock or
+   starve (the inner map's helper jobs sit behind the outer map's in the
+   one job queue, and the task itself occupies the claim loop), so the
+   re-entry is detected here and raised as [Invalid_argument] instead of
+   failing silently. Maps on a *different* pool from inside a task are
+   fine — that pool's workers are separate domains — so the marker holds
+   the pool's identity, not a bare flag. *)
+let executing : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let check_not_nested pool =
+  match Domain.DLS.get executing with
+  | Some p when p == pool ->
+      invalid_arg
+        "Par.Pool.map: nested map on the same pool from inside a task \
+         (documented as forbidden; use a second pool or restructure the \
+         task)"
+  | _ -> ()
+
+let with_executing pool f =
+  let saved = Domain.DLS.get executing in
+  Domain.DLS.set executing (Some pool);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set executing saved) f
+
 let create ~domains =
   let size = max 1 domains in
   let pool =
@@ -59,8 +83,9 @@ let submit pool job =
   Mutex.unlock pool.mutex
 
 let map pool arr f =
+  check_not_nested pool;
   let n = Array.length arr in
-  if pool.size = 1 || n <= 1 then Array.map f arr
+  if pool.size = 1 || n <= 1 then with_executing pool (fun () -> Array.map f arr)
   else begin
     let results = Array.make n None in
     (* When metrics are live, each task runs against a fresh sink so that
@@ -81,6 +106,7 @@ let map pool arr f =
        even after a task raised — completion therefore always reaches [n],
        which keeps the wait below deadlock-free. *)
     let run_tasks () =
+      with_executing pool @@ fun () ->
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin

@@ -31,7 +31,10 @@ val map : t -> 'a array -> ('a -> 'b) -> 'b array
     calling domain works too, so this makes progress with any pool size.
     If any [f] raises, the first exception (in claim order) is re-raised
     in the caller after all in-flight tasks finish. Tasks must not
-    themselves call into the same pool (no nested maps).
+    themselves call into the same pool: a nested [map] on the pool whose
+    task is executing raises [Invalid_argument] (detected per domain, on
+    every pool size — previously this failed silently or starved). Maps
+    on a {e different} pool from inside a task are allowed.
 
     When {!Obs.Metrics} is enabled, every task runs against a fresh
     task-local metric sink and the task sinks are merged into the caller's

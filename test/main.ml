@@ -14,6 +14,7 @@ let () =
       ("packing", Test_packing.suite);
       ("heuristics", Test_heuristics.suite);
       ("binary-search-diff", Test_binary_search_diff.suite);
+      ("batch-diff", Test_batch_diff.suite);
       ("kernel-diff", Test_kernel_diff.suite);
       ("greedy-criteria", Test_greedy_criteria.suite);
       ("workload", Test_workload.suite);

@@ -146,12 +146,15 @@ let test_differential_fast_paths () =
    iff y <= 0.3 at tolerance 0.2 — wide enough to trace by hand:
 
    sequential   [1]; [0]; [0.5]; [0.25]; [0.375]        (bracket 0.25..0.375)
-   k=2 (n=3)    [1]; [0]; [0.5 0.25 0.75]; [0.375 0.3125 0.4375]
+   k=2 (n=3)    [1]; [0]; [0.5 0.25 0.75]; [0.375]
    k=4 (n=7)    [1]; [0]; [0.5 0.25 0.75 0.125 0.375 0.625 0.875]
 
    The speculative batches are the next bisection levels below the current
    bracket in heap order (children of i at 2i+1/2i+2); the on-path points
-   (0.5, 0.25, 0.375) appear bit-identically inside them. *)
+   (0.5, 0.25, 0.375) appear bit-identically inside them. After the k=2
+   first fan resolves, the bracket is 0.25..0.5 — one bisection level from
+   the tolerance — so the remaining-levels cap shrinks the second fan to
+   the single on-path point instead of speculating past the stop. *)
 let show_rounds rounds =
   String.concat "; "
     (List.map
@@ -181,9 +184,9 @@ let test_probe_sequences () =
   Alcotest.(check string) "pool size 1 degenerates to the sequential sequence"
     seq_expected
     (record (fun on_round -> par ~domains:1 on_round));
-  Alcotest.(check string) "pool size 2: two 3-point speculative rounds"
-    (expect
-       [ [ 1. ]; [ 0. ]; [ 0.5; 0.25; 0.75 ]; [ 0.375; 0.3125; 0.4375 ] ])
+  Alcotest.(check string)
+    "pool size 2: 3-point fan, then a capped single-point round"
+    (expect [ [ 1. ]; [ 0. ]; [ 0.5; 0.25; 0.75 ]; [ 0.375 ] ])
     (record (fun on_round -> par ~domains:2 on_round));
   Alcotest.(check string) "pool size 4: one 7-point speculative round"
     (expect
@@ -281,6 +284,75 @@ let test_round_regression () =
             tolerances))
     [ 1; 2; 4 ]
 
+(* Forced speculation depths: any [~depth] must leave the result
+   bit-identical to the sequential search — depth only trades probes for
+   rounds. Swept over real packing oracles on a corpus slice so the
+   on-path points exercise genuine bracket updates, not just the
+   synthetic threshold. *)
+let test_forced_depth_differential () =
+  let slice =
+    List.filteri (fun i _ -> i mod 5 = 0) corpus
+  in
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun pool ->
+          List.iter
+            (fun depth ->
+              List.iter
+                (fun (seed, inst) ->
+                  List.iter
+                    (fun (oname, strategy) ->
+                      let oracle =
+                        Heuristics.Vp_solver.pack_at_yield strategy inst
+                      in
+                      check_identical
+                        (Printf.sprintf
+                           "seed %d, %s oracle, %d domains, depth %d" seed
+                           oname domains depth)
+                        (BS.maximize oracle)
+                        (BS.maximize_par ~pool ~depth oracle))
+                    oracle_strategies)
+                slice)
+            [ 1; 2; 3; 5 ]))
+    (pool_sizes ())
+
+(* Probe accounting: the parallel search calls the oracle exactly
+   [sequential probes + speculative waste] times — every extra call is an
+   off-path speculative point, none are silently dropped or repeated. *)
+let test_probe_accounting () =
+  let was_enabled = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled was_enabled)
+  @@ fun () ->
+  let target = 0.37 in
+  let waste () =
+    Obs.Metrics.Snapshot.counter_value (Obs.Metrics.snapshot ())
+      "binary_search.speculative_waste"
+  in
+  List.iter
+    (fun k ->
+      with_pool ~domains:k (fun pool ->
+          List.iter
+            (fun tolerance ->
+              let seq_calls = ref 0 in
+              ignore
+                (BS.maximize ~tolerance (fun y ->
+                     incr seq_calls;
+                     if y <= target then Some y else None));
+              let par_calls = ref 0 in
+              let waste0 = waste () in
+              ignore
+                (BS.maximize_par ~tolerance ~pool (fun y ->
+                     incr par_calls;
+                     if y <= target then Some y else None));
+              Alcotest.(check int)
+                (Printf.sprintf
+                   "par calls = seq calls + waste (k=%d, tol %g)" k tolerance)
+                (!seq_calls + (waste () - waste0))
+                !par_calls)
+            [ 1e-2; 1e-3; BS.default_tolerance ]))
+    [ 1; 2; 4 ]
+
 (* The same regression on a real packing search end-to-end: METAHVPLIGHT's
    multi-strategy oracle on an instance whose optimum lies strictly inside
    (0, 1), so the full bisection runs. *)
@@ -339,6 +411,8 @@ let suite =
       ("maximize_par fast paths and tolerances", test_differential_fast_paths);
       ("exact announced probe sequences", test_probe_sequences);
       ("endpoint probe announcements", test_probe_sequence_endpoints);
+      ("forced depths stay bit-identical", test_forced_depth_differential);
+      ("probe accounting: par = seq + waste", test_probe_accounting);
       ("round count: bound and <= sequential probes", test_round_regression);
       ("round count on a packing search", test_round_regression_packing);
     ]

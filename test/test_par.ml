@@ -96,6 +96,50 @@ let test_maximize_par_raising_oracle () =
             && target -. y <= 2. *. Heuristics.Binary_search.default_tolerance)
       | None -> Alcotest.fail "search after error should succeed")
 
+(* A task that maps on its own pool again would deadlock or starve (one
+   job queue, and the task occupies the claim loop), so the re-entry must
+   be rejected loudly — at every pool size, including the sequential
+   short-circuit — and leave the pool usable. *)
+let test_nested_map_same_pool_rejected () =
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun pool ->
+          let input = Array.init 8 (fun i -> i) in
+          let rejected =
+            try
+              ignore
+                (Par.Pool.map pool input (fun i ->
+                     ignore (Par.Pool.map pool [| i; i + 1 |] succ);
+                     i));
+              false
+            with Invalid_argument msg ->
+              if not (String.starts_with ~prefix:"Par.Pool.map: nested" msg)
+              then Alcotest.failf "unexpected message: %s" msg;
+              true
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "nested map rejected (domains=%d)" domains)
+            true rejected;
+          Alcotest.(check (array int)) "pool usable after rejection"
+            (Array.map succ input)
+            (Par.Pool.map pool input succ)))
+    [ 1; 2; 4 ]
+
+(* Maps on a *different* pool from inside a task are documented as fine:
+   that pool's workers are separate domains, so the detection must key on
+   pool identity, not a bare in-a-task flag. *)
+let test_nested_map_different_pool_allowed () =
+  with_pool ~domains:2 (fun outer ->
+      with_pool ~domains:2 (fun inner ->
+          let input = Array.init 8 (fun i -> i) in
+          let f i =
+            Array.fold_left ( + ) 0
+              (Par.Pool.map inner [| i; 10 * i |] (fun x -> x * 3))
+          in
+          Alcotest.(check (array int)) "inner-pool map from a task"
+            (Array.map (fun i -> 33 * i) input)
+            (Par.Pool.map outer input f)))
+
 let test_pool_reusable_after_error () =
   with_pool ~domains:2 (fun pool ->
       let input = Array.init 16 (fun i -> i) in
@@ -156,6 +200,41 @@ let test_domains_from_env_default_positive () =
   (* Whatever the machine, the resolved default must be a usable size. *)
   Alcotest.(check bool) "positive" true (Par.Pool.domains_from_env () >= 1)
 
+let test_domains_from_env_parsing () =
+  (* Unix.putenv cannot truly unset, so "unset" is approximated by the
+     empty string — int_of_string_opt rejects it exactly like a missing
+     variable's branch resolves, to the recommended count. *)
+  let saved = Sys.getenv_opt "VMALLOC_DOMAINS" in
+  let restore () =
+    Unix.putenv "VMALLOC_DOMAINS" (Option.value saved ~default:"")
+  in
+  Fun.protect ~finally:restore (fun () ->
+      let default = Domain.recommended_domain_count () in
+      List.iter
+        (fun (v, expect, label) ->
+          Unix.putenv "VMALLOC_DOMAINS" v;
+          Alcotest.(check int) label expect (Par.Pool.domains_from_env ()))
+        [
+          ("3", 3, "valid positive parses");
+          (" 7 ", 7, "surrounding whitespace trimmed");
+          ("1", 1, "1 selects the legacy sequential path");
+          ("", default, "empty falls back to the recommended count");
+          ("soup", default, "garbage falls back to the recommended count");
+          ("0", default, "zero is rejected (pools need >= 1 member)");
+          ("-4", default, "negative is rejected");
+        ])
+
+let test_with_pool_shutdown_on_exception () =
+  (* If with_pool leaked its worker domains when the body raises, this
+     loop would pile up live domains and trip the runtime's Max_domains
+     limit (128 by default) long before finishing; joining them in the
+     cleanup keeps the count flat. *)
+  for i = 1 to 200 do
+    try with_pool ~domains:2 (fun _ -> raise (Boom i))
+    with Boom j ->
+      if i <> j then Alcotest.failf "exception mangled: Boom %d -> Boom %d" i j
+  done
+
 let suite =
   List.map
     (fun (n, f) -> Alcotest.test_case n `Quick f)
@@ -165,9 +244,15 @@ let suite =
       ("map preserves order under skew", test_map_preserves_order_under_skew);
       ("map_reduce sums chunks in order", test_map_reduce_sum);
       ("map propagates exceptions", test_map_propagates_exception);
+      ("nested map on the same pool rejected", test_nested_map_same_pool_rejected);
+      ("nested map on a different pool allowed",
+       test_nested_map_different_pool_allowed);
       ("maximize_par propagates oracle exceptions", test_maximize_par_raising_oracle);
       ("pool reusable after an error", test_pool_reusable_after_error);
       ("Table 1 mini-sweep identical in parallel", test_table1_parallel_identical);
       ("Table 1 mini-sweep identical with probe pool", test_table1_probe_pool_identical);
       ("domains_from_env is positive", test_domains_from_env_default_positive);
+      ("domains_from_env parsing sweep", test_domains_from_env_parsing);
+      ("with_pool joins workers on exception",
+       test_with_pool_shutdown_on_exception);
     ]
